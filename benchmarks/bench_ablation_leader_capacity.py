@@ -1,0 +1,72 @@
+"""Ablation — leader-buffer capacity (paper Sec. 5.3 caps it at 16).
+
+The paper notes that capping the Leader Buffer *improves accuracy*
+(overflow queries are searched exactly) at a modest work cost.  This
+bench sweeps the capacity and measures both effects: distance-compute
+work and NN accuracy versus the exact search.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.core import ApproximateSearch, ApproximateSearchConfig, TwoStageKDTree
+from repro.kdtree import SearchStats, bruteforce
+
+CAPACITIES = (1, 4, 16, 64, 256)
+
+
+@pytest.fixture(scope="module")
+def capacity_data(frame_pair):
+    source, target, _ = frame_pair
+    tree = TwoStageKDTree.from_leaf_size(target.points, 128)
+    queries = source.points[::2]
+    exact_nn = bruteforce.nn_batch(target.points, queries)[0]
+
+    results = {}
+    for capacity in CAPACITIES:
+        stats = SearchStats()
+        search = ApproximateSearch(
+            tree, ApproximateSearchConfig(leader_capacity=capacity)
+        )
+        indices, _ = search.nn_batch(queries, stats)
+        accuracy = float(np.mean(indices == exact_nn))
+        results[capacity] = (stats.total_work, accuracy, search.total_leaders)
+    return results, len(queries)
+
+
+def test_ablation_leader_capacity(benchmark, capacity_data, frame_pair):
+    source, target, _ = frame_pair
+    tree = TwoStageKDTree.from_leaf_size(target.points, 128)
+    benchmark.pedantic(
+        lambda: ApproximateSearch(tree).nn_batch(source.points[::8]),
+        rounds=1, iterations=1,
+    )
+    results, n_queries = capacity_data
+
+    lines = [
+        "Ablation — leader-buffer capacity (NN search, leaf sets ~128)",
+        "",
+        f"{'capacity':>9}{'work/query':>12}{'exact-NN rate':>15}{'leaders':>9}",
+    ]
+    for capacity in CAPACITIES:
+        work, accuracy, leaders = results[capacity]
+        lines.append(
+            f"{capacity:>9}{work / n_queries:>12.1f}{100 * accuracy:>14.1f}%"
+            f"{leaders:>9}"
+        )
+    lines += [
+        "",
+        "(paper caps at 16: larger buffers add leader-check work;",
+        " smaller buffers force more exact searches — better accuracy,",
+        " more work)",
+    ]
+    write_report("ablation_leader_capacity", "\n".join(lines))
+
+    # Smaller buffers are more accurate (more exact fallbacks)...
+    assert results[1][1] >= results[256][1]
+    # ...but cost more work per query.
+    assert results[1][0] > results[256][0] * 0.9
+    # Leader counts respect the cap (per leaf set).
+    for capacity in CAPACITIES:
+        assert results[capacity][2] <= capacity * tree.n_leaf_sets

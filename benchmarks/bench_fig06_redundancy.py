@@ -1,0 +1,100 @@
+"""Fig. 6 — the redundancy the two-stage KD-tree trades for parallelism.
+
+Fig. 6a: redundancy ratio (nodes visited by the two-stage structure over
+the canonical structure) as the leaf-set size grows from 1 to 32, for
+both radius search and NN search.
+Fig. 6b: the absolute number of nodes visited.
+
+Shape claims asserted: redundancy grows monotonically with leaf-set
+size; NN redundancy grows faster than radius redundancy (the paper's
+explanation: NN benefits more from pruning, so it suffers more from
+exhaustive leaf scans); radius search visits more nodes in absolute
+terms.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.accel import build_workload
+
+LEAF_SIZES = (1, 2, 4, 8, 16, 32)
+RADIUS = 0.75
+
+
+@pytest.fixture(scope="module")
+def redundancy_data(frame_pair):
+    source, target, _ = frame_pair
+    queries = source.points[::3]  # every 3rd point as query
+    target_points = target.points
+
+    visits = {"nn": {}, "radius": {}}
+    for leaf_size in LEAF_SIZES:
+        nn = build_workload(
+            target_points, queries, kind="nn", leaf_size=leaf_size
+        )
+        radius = build_workload(
+            target_points, queries, kind="radius", radius=RADIUS,
+            leaf_size=leaf_size,
+        )
+        visits["nn"][leaf_size] = nn.total_nodes_visited
+        visits["radius"][leaf_size] = radius.total_nodes_visited
+    return visits
+
+
+def test_fig06_redundancy(benchmark, redundancy_data, frame_pair):
+    source, target, _ = frame_pair
+    queries = source.points[::3]
+    benchmark.pedantic(
+        lambda: build_workload(target.points, queries[:200], kind="nn",
+                               leaf_size=16),
+        rounds=1, iterations=1,
+    )
+
+    visits = redundancy_data
+    base_nn = visits["nn"][1]
+    base_radius = visits["radius"][1]
+
+    lines = [
+        "Fig. 6a — redundancy ratio vs leaf-set size "
+        "(two-stage visits / canonical visits)",
+        "",
+        f"{'leaf size':>10}{'NN search':>12}{'radius search':>15}",
+    ]
+    nn_ratio = {}
+    radius_ratio = {}
+    for leaf_size in LEAF_SIZES:
+        nn_ratio[leaf_size] = visits["nn"][leaf_size] / base_nn
+        radius_ratio[leaf_size] = visits["radius"][leaf_size] / base_radius
+        lines.append(
+            f"{leaf_size:>10}{nn_ratio[leaf_size]:>11.2f}x"
+            f"{radius_ratio[leaf_size]:>14.2f}x"
+        )
+    lines += [
+        "",
+        "Fig. 6b — absolute nodes visited",
+        "",
+        f"{'leaf size':>10}{'NN search':>12}{'radius search':>15}",
+    ]
+    for leaf_size in LEAF_SIZES:
+        lines.append(
+            f"{leaf_size:>10}{visits['nn'][leaf_size]:>12,}"
+            f"{visits['radius'][leaf_size]:>15,}"
+        )
+    lines += [
+        "",
+        "(paper at leaf 32: ~35x NN redundancy, ~3x radius redundancy;",
+        " radius visits more nodes in absolute terms throughout)",
+    ]
+    write_report("fig06_redundancy", "\n".join(lines))
+
+    # Monotone growth of redundancy with leaf-set size.
+    nn_series = [nn_ratio[s] for s in LEAF_SIZES]
+    radius_series = [radius_ratio[s] for s in LEAF_SIZES]
+    assert all(np.diff(nn_series) > -1e-9)
+    assert all(np.diff(radius_series) > -1e-9)
+    # NN redundancy grows faster than radius redundancy.
+    assert nn_ratio[32] > radius_ratio[32]
+    # Radius search visits more nodes in absolute terms at every size.
+    for leaf_size in LEAF_SIZES:
+        assert visits["radius"][leaf_size] > visits["nn"][leaf_size]

@@ -1,0 +1,130 @@
+"""Fig. 7 — registration's tolerance to inexact KD-tree search.
+
+Fig. 7a: translational error as NN search returns the k-th nearest
+neighbor instead of the nearest, injected into the *dense* RPCE stage
+and the *sparse* KPCE stage.
+Fig. 7b: translational error as radius search returns the spherical
+shell <r1, r2> instead of the ball r, injected into Normal Estimation.
+
+Shape claims asserted: dense-stage errors (RPCE k-th NN, NE shell) are
+statistically tolerated; sparse-stage errors (KPCE) hurt much more —
+the asymmetry that licenses the approximate algorithm on NE/RPCE only.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.geometry import metrics
+from repro.registration import (
+    ICPConfig,
+    KeypointConfig,
+    KthNeighborInjector,
+    Pipeline,
+    PipelineConfig,
+    RPCEConfig,
+    ShellRadiusInjector,
+)
+
+NE_RADIUS = 0.6
+K_VALUES = (1, 2, 3, 5, 7, 9)
+SHELLS = ((0.0, 0.6), (0.1, 0.75), (0.2, 0.75), (0.3, 0.75), (0.4, 0.9))
+
+
+def dense_config(injectors=None) -> PipelineConfig:
+    """ICP-only pipeline: isolates the dense NE/RPCE stages."""
+    return PipelineConfig(
+        icp=ICPConfig(
+            rpce=RPCEConfig(max_distance=2.0),
+            error_metric="point_to_plane",
+            max_iterations=20,
+        ),
+        skip_initial_estimation=True,
+        injectors=injectors or {},
+    )
+
+
+def frontend_config(injectors=None) -> PipelineConfig:
+    """Full pipeline whose outcome hinges on KPCE (few ICP iterations)."""
+    return PipelineConfig(
+        keypoints=KeypointConfig(
+            method="harris", params={"radius": 1.0, "threshold": 1e-5}
+        ),
+        icp=ICPConfig(rpce=RPCEConfig(max_distance=2.0), max_iterations=3),
+        injectors=injectors or {},
+    )
+
+
+def trans_error(pair, config) -> float:
+    source, target, gt = pair
+    result = Pipeline(config).register(source, target)
+    _, err = metrics.pair_errors(result.transformation, gt)
+    return err
+
+
+@pytest.fixture(scope="module")
+def tolerance_data(medium_sequence):
+    pair = medium_sequence.pair(0)
+    rpce = {
+        k: trans_error(
+            pair, dense_config({"RPCE": KthNeighborInjector(k=k)})
+        )
+        for k in K_VALUES
+    }
+    kpce = {
+        k: trans_error(
+            pair, frontend_config({"KPCE": KthNeighborInjector(k=k)})
+        )
+        for k in K_VALUES
+    }
+    ne = {
+        shell: trans_error(
+            pair, dense_config({"Normal Estimation": ShellRadiusInjector(*shell)})
+        )
+        for shell in SHELLS
+    }
+    return rpce, kpce, ne
+
+
+def test_fig07_error_tolerance(benchmark, tolerance_data, medium_sequence):
+    pair = medium_sequence.pair(0)
+    benchmark.pedantic(
+        lambda: trans_error(pair, dense_config()), rounds=1, iterations=1
+    )
+    rpce, kpce, ne = tolerance_data
+
+    lines = [
+        "Fig. 7a — translational error (m) vs k-th NN substitution",
+        "",
+        f"{'k':>3}{'RPCE (dense)':>15}{'KPCE (sparse)':>16}",
+    ]
+    for k in K_VALUES:
+        lines.append(f"{k:>3}{rpce[k]:>15.3f}{kpce[k]:>16.3f}")
+    lines += [
+        "",
+        "Fig. 7b — translational error (m) vs shell radius search in NE",
+        "",
+        f"{'<r1, r2> (m)':>14}{'error':>10}",
+    ]
+    for shell in SHELLS:
+        lines.append(f"{str(shell):>14}{ne[shell]:>10.3f}")
+    lines += [
+        "",
+        "(paper: dense-stage injection is statistically tolerated;",
+        " KPCE's 2nd-NN already costs ~40 % accuracy)",
+    ]
+    write_report("fig07_error_tolerance", "\n".join(lines))
+
+    # Dense-stage tolerance: error grows slowly with k in RPCE.
+    baseline = rpce[1]
+    assert rpce[3] < baseline + 0.25
+    assert rpce[5] < baseline + 0.5
+    # NE shell searches are tolerated too.
+    exact_shell = ne[SHELLS[0]]
+    worst_shell = max(ne.values())
+    assert worst_shell < exact_shell + 0.5
+    # Sparse KPCE is the fragile one: its degradation from k=1 to the
+    # worst k exceeds RPCE's.
+    kpce_degradation = max(kpce[k] - kpce[1] for k in K_VALUES)
+    rpce_degradation = max(rpce[k] - rpce[1] for k in K_VALUES)
+    assert kpce_degradation > rpce_degradation

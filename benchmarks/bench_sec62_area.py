@@ -1,0 +1,49 @@
+"""Sec. 6.2 — area analysis of the Tigris accelerator.
+
+The paper reports, for 64 RUs / 32 SUs / 32 PEs per SU at 16 nm:
+8.38 mm^2 of SRAM (53.8 %) and 7.19 mm^2 of combinational logic
+(46.2 %), the latter dominated by FP32 euclidean-distance datapaths.
+
+This bench reproduces the split and sweeps the area model across the
+Fig. 14 hardware configurations.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.accel import AcceleratorConfig, estimate_area
+
+
+def test_sec62_area(benchmark):
+    config = AcceleratorConfig()
+    report = benchmark(lambda: estimate_area(config))
+
+    lines = [
+        "Sec. 6.2 — area analysis (64 RU / 32 SU / 32 PE, 16 nm)",
+        "",
+        f"{'component':<12}{'mm^2':>8}{'share':>9}",
+        f"{'SRAM':<12}{report.sram_mm2:>8.2f}{100 * report.sram_fraction:>8.1f}%",
+        f"{'logic':<12}{report.logic_mm2:>8.2f}{100 * report.logic_fraction:>8.1f}%",
+        f"{'total':<12}{report.total_mm2:>8.2f}",
+        "",
+        "(paper: 8.38 mm^2 SRAM / 7.19 mm^2 logic = 53.8 % / 46.2 %)",
+        "",
+        "area across hardware configurations (RU, SU, PE -> mm^2):",
+    ]
+    for units in ((16, 16, 16), (64, 32, 32), (128, 128, 128)):
+        swept = estimate_area(
+            AcceleratorConfig(
+                n_recursion_units=units[0],
+                n_search_units=units[1],
+                pes_per_su=units[2],
+            )
+        )
+        lines.append(
+            f"  {units}: {swept.total_mm2:.2f} "
+            f"(SRAM {swept.sram_mm2:.2f} + logic {swept.logic_mm2:.2f})"
+        )
+    write_report("sec62_area", "\n".join(lines))
+
+    assert report.sram_mm2 == pytest.approx(8.38, rel=0.01)
+    assert report.logic_mm2 == pytest.approx(7.19, rel=0.01)
+    assert report.sram_fraction == pytest.approx(0.538, abs=0.01)

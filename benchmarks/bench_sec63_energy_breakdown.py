@@ -1,0 +1,73 @@
+"""Sec. 6.3 — energy breakdown of Acc-2SKD on the DP4 workload.
+
+The paper reports, for DP4: PE 53.7 %, SRAM read 34.8 %, SRAM write
+8.0 %, leakage 3.3 %, DRAM 0.2 %.  Asserted shape: the same ordering —
+PE largest, then SRAM read, then SRAM write, leakage small, DRAM
+smallest — and Acc-KD costing more energy than Acc-2SKD (paper: 2.5x).
+"""
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.accel import TigrisSimulator
+
+PAPER = {
+    "PE": 53.7,
+    "SRAM read": 34.8,
+    "SRAM write": 8.0,
+    "Leakage": 3.3,
+    "DRAM": 0.2,
+}
+
+
+@pytest.fixture(scope="module")
+def breakdown_data(dp4_workloads):
+    simulator = TigrisSimulator()
+    return {
+        "Acc-2SKD": simulator.simulate_many(list(dp4_workloads["2skd"].values())),
+        "Acc-KD": simulator.simulate_many(list(dp4_workloads["kd"].values())),
+    }
+
+
+def test_sec63_energy_breakdown(benchmark, breakdown_data, dp4_workloads):
+    simulator = TigrisSimulator()
+    benchmark(
+        lambda: simulator.simulate_many(
+            list(dp4_workloads["2skd"].values())
+        ).energy.fractions()
+    )
+    two_stage = breakdown_data["Acc-2SKD"]
+    canonical = breakdown_data["Acc-KD"]
+    fractions = two_stage.energy.fractions()
+
+    lines = [
+        "Sec. 6.3 — DP4 energy breakdown, Acc-2SKD",
+        "",
+        f"{'category':<12}{'measured':>10}{'paper':>8}",
+    ]
+    for category, paper_pct in PAPER.items():
+        lines.append(
+            f"{category:<12}{100 * fractions[category]:>9.1f}%"
+            f"{paper_pct:>7.1f}%"
+        )
+    lines += [
+        "",
+        f"total energy Acc-2SKD: {two_stage.energy_joules * 1e6:.1f} uJ",
+        f"total energy Acc-KD:   {canonical.energy_joules * 1e6:.1f} uJ "
+        f"({canonical.energy_joules / two_stage.energy_joules:.2f}x; paper: 2.5x)",
+    ]
+    write_report("sec63_energy_breakdown", "\n".join(lines))
+
+    # Ordering matches the paper's breakdown.
+    assert (
+        fractions["PE"]
+        > fractions["SRAM read"]
+        > fractions["SRAM write"]
+        > fractions["DRAM"]
+    )
+    assert fractions["PE"] > 0.4
+    assert fractions["Leakage"] < 0.15
+    assert fractions["DRAM"] < 0.05
+    # Acc-KD trades time for energy: slower front-end-bound execution
+    # burns more total energy than Acc-2SKD (paper: 2.5x).
+    assert canonical.energy_joules > two_stage.energy_joules

@@ -1,0 +1,102 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Workload tracing is the expensive part (functional search over every
+query), so traced workloads are session-scoped and shared across the
+benchmark files.  Every bench writes its reproduced table/series to
+``benchmarks/results/<name>.txt`` and prints it, so the paper-vs-measured
+comparison in EXPERIMENTS.md can be regenerated from a single
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_report(name: str, text: str) -> None:
+    """Persist a figure reproduction and echo it to stdout."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def frame_pair():
+    """Sparse synthetic frame pair (fast; workload-shape benches)."""
+    from repro.io import make_sequence
+
+    sequence = make_sequence(n_frames=2, seed=3)
+    return sequence.pair(0)
+
+
+@pytest.fixture(scope="session")
+def medium_sequence():
+    """Medium-density sequence (~6.3k points/frame; accuracy benches)."""
+    from repro.io import default_test_model, make_sequence
+
+    model = default_test_model(azimuth_steps=270, channels=24)
+    return make_sequence(n_frames=3, seed=3, model=model)
+
+
+@pytest.fixture(scope="session")
+def dse_report(medium_sequence):
+    """DP1-DP8 evaluated over one medium-density pair (Fig. 3/4 input)."""
+    from repro.dse import explore
+    from repro.registration import DESIGN_POINT_NAMES, design_point
+
+    configs = {name: design_point(name) for name in DESIGN_POINT_NAMES}
+    return explore(configs, medium_sequence, max_pairs=1)
+
+
+@pytest.fixture(scope="session")
+def dp7_workloads(frame_pair):
+    """DP7-flavoured search workloads (NE r=0.75) on all four structures.
+
+    Keys: '2skd' (leaf ~128), 'kd' (leaf 1), 'approx' (leaf ~128 +
+    leaders/followers at the paper's thresholds).
+    """
+    from repro.accel import registration_workload
+    from repro.core import ApproximateSearchConfig
+
+    source, target, _ = frame_pair
+    kwargs = dict(normal_radius=0.75, icp_iterations=5)
+    return {
+        "2skd": registration_workload(
+            source.points, target.points, leaf_size=128, **kwargs
+        ),
+        "kd": registration_workload(
+            source.points, target.points, leaf_size=1, **kwargs
+        ),
+        "approx": registration_workload(
+            source.points, target.points, leaf_size=128,
+            approx=ApproximateSearchConfig(), **kwargs
+        ),
+    }
+
+
+@pytest.fixture(scope="session")
+def dp4_workloads(frame_pair):
+    """DP4-flavoured workloads (tight NE r=0.30 — Sec. 6.3's contrast)."""
+    from repro.accel import registration_workload
+    from repro.core import ApproximateSearchConfig
+
+    source, target, _ = frame_pair
+    kwargs = dict(normal_radius=0.30, icp_iterations=5)
+    return {
+        "2skd": registration_workload(
+            source.points, target.points, leaf_size=128, **kwargs
+        ),
+        "kd": registration_workload(
+            source.points, target.points, leaf_size=1, **kwargs
+        ),
+        "approx": registration_workload(
+            source.points, target.points, leaf_size=128,
+            approx=ApproximateSearchConfig(), **kwargs
+        ),
+    }

@@ -1,0 +1,77 @@
+"""Design-space exploration across the DP1-DP8 design points
+(paper Sec. 3.2, Fig. 3/4, scaled to laptop runtimes).
+
+Evaluates a subset of the Pareto design points over a short synthetic
+sequence, prints the accuracy/time scatter with the Pareto frontier
+annotated (Fig. 3), the per-stage time distribution (Fig. 4a), and the
+KD-tree vs everything-else split (Fig. 4b).
+
+Run:  python examples/design_space_exploration.py [--points DP1,DP2,DP4,DP7]
+"""
+
+import argparse
+
+from repro.dse import explore
+from repro.io import make_sequence
+from repro.registration import DESIGN_POINT_NAMES, design_point
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--points",
+        default="DP1,DP2,DP4,DP7",
+        help="comma-separated design point names (default: a fast subset)",
+    )
+    parser.add_argument("--pairs", type=int, default=1)
+    args = parser.parse_args()
+
+    names = [name.strip() for name in args.points.split(",")]
+    for name in names:
+        if name not in DESIGN_POINT_NAMES:
+            raise SystemExit(f"unknown design point {name!r}")
+
+    sequence = make_sequence(n_frames=args.pairs + 1, seed=3)
+    print(
+        f"evaluating {names} over {args.pairs} frame pair(s) "
+        f"of ~{len(sequence.frames[0])} points\n"
+    )
+
+    configs = {name: design_point(name) for name in names}
+    report = explore(configs, sequence, max_pairs=args.pairs)
+
+    print("Fig. 3 — accuracy vs time (T/R mark the Pareto frontiers):")
+    print(report.summary())
+
+    print("\nFig. 4a — per-stage time distribution:")
+    header = f"{'stage':<26}" + "".join(f"{name:>8}" for name in names)
+    print(header)
+    stage_names = list(
+        report.results[0].detail["stage_fractions"].keys()
+    )
+    by_name = {r.name: r for r in report.results}
+    for stage in stage_names:
+        row = f"{stage:<26}"
+        for name in names:
+            fraction = by_name[name].detail["stage_fractions"].get(stage, 0.0)
+            row += f"{100 * fraction:>7.1f}%"
+        print(row)
+
+    print("\nFig. 4b — KD-tree search vs construction vs other:")
+    print(f"{'design point':<14}{'search':>9}{'constr':>9}{'other':>9}")
+    for name in names:
+        fractions = by_name[name].detail["kdtree_fractions"]
+        print(
+            f"{name:<14}{100 * fractions['search']:>8.1f}%"
+            f"{100 * fractions['construction']:>8.1f}%"
+            f"{100 * fractions['other']:>8.1f}%"
+        )
+    print(
+        "\n(The paper's observation: KD-tree search stays the dominant "
+        "kernel across very different design points.)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

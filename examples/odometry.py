@@ -1,0 +1,97 @@
+"""LiDAR odometry over a synthetic sequence (paper Sec. 2.2's motivating
+application).
+
+A vehicle drives through a synthetic urban scene; consecutive frames are
+registered and the relative transforms chained into a trajectory, which
+is scored with the KITTI odometry metrics (translational % and
+rotational deg/m) — the exact accuracy setup of the paper's evaluation.
+
+Run:  python examples/odometry.py [--frames N] [--dense]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.geometry import metrics, se3
+from repro.io import default_test_model, make_sequence
+from repro.registration import (
+    ICPConfig,
+    KeypointConfig,
+    Pipeline,
+    PipelineConfig,
+    RPCEConfig,
+    run_odometry,
+)
+
+
+def build_pipeline() -> Pipeline:
+    """Point-to-plane ICP seeded by the previous frame's motion."""
+    return Pipeline(
+        PipelineConfig(
+            keypoints=KeypointConfig(method="uniform", params={"voxel_size": 3.0}),
+            icp=ICPConfig(
+                rpce=RPCEConfig(max_distance=2.0),
+                error_metric="point_to_plane",
+                max_iterations=30,
+            ),
+            skip_initial_estimation=True,
+        )
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=5)
+    parser.add_argument(
+        "--dense",
+        action="store_true",
+        help="use a 32x360 scan pattern (slower, much more accurate)",
+    )
+    args = parser.parse_args()
+
+    model = (
+        default_test_model(azimuth_steps=360, channels=32)
+        if args.dense
+        else default_test_model()
+    )
+    sequence = make_sequence(
+        n_frames=args.frames, seed=7, step=1.0, yaw_rate=0.01, model=model
+    )
+    print(
+        f"sequence: {len(sequence)} frames, "
+        f"~{len(sequence.frames[0])} points each"
+    )
+
+    # The library's odometry driver registers all consecutive pairs with
+    # a constant-velocity prior and scores against ground truth.
+    result = run_odometry(sequence, build_pipeline())
+    for index, (pair, seconds) in enumerate(
+        zip(result.pair_results, result.pair_seconds)
+    ):
+        translation = se3.translation_part(pair.transformation)
+        print(
+            f"frame {index + 1:2d}: {seconds:5.2f}s  "
+            f"t = {np.round(translation, 3)}  {pair.icp}"
+        )
+
+    print("\nKITTI-style sequence errors (paper Fig. 3 axes):")
+    print(f"  translational: {result.errors.translational_percent:.2f} %")
+    print(f"  rotational:    {result.errors.rotational:.4f} deg/m")
+
+    # Anchor the estimated trajectory (which starts at the identity) at
+    # the ground-truth start pose before comparing absolute positions.
+    final_gt = se3.translation_part(sequence.poses[-1])
+    final_est = se3.translation_part(
+        se3.compose(sequence.poses[0], result.trajectory[-1])
+    )
+    travelled = metrics.trajectory_distances(sequence.poses)[-1]
+    print(
+        f"  final position error: {np.linalg.norm(final_gt - final_est):.3f} m "
+        f"over {travelled:.1f} m travelled"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

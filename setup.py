@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs (offline environments).
+
+The project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works with older setuptools/pip without network
+access to a PEP 517 build environment.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""repro — a reproduction of Tigris (MICRO-52, 2019).
+
+Tigris: Architecture and Algorithms for 3D Perception in Point Clouds
+(Xu, Tian, Zhu).  The library provides:
+
+* a configurable point cloud registration pipeline
+  (:mod:`repro.registration`) with the design knobs of the paper's
+  Table 1;
+* the canonical KD-tree substrate (:mod:`repro.kdtree`);
+* the paper's core contribution — the two-stage KD-tree and approximate
+  leaders/followers search (:mod:`repro.core`);
+* a trace-driven model of the Tigris accelerator and its CPU/GPU
+  baselines (:mod:`repro.accel`);
+* synthetic LiDAR sequences standing in for KITTI (:mod:`repro.io`),
+  SE(3)/metrics utilities (:mod:`repro.geometry`), and a design-space
+  exploration harness (:mod:`repro.dse`).
+"""
+
+from repro.core import ApproximateSearch, ApproximateSearchConfig, TwoStageKDTree
+from repro.io import PointCloud, make_sequence
+from repro.kdtree import KDTree, SearchStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PointCloud",
+    "make_sequence",
+    "KDTree",
+    "SearchStats",
+    "TwoStageKDTree",
+    "ApproximateSearch",
+    "ApproximateSearchConfig",
+    "__version__",
+]

@@ -1,0 +1,62 @@
+"""Trace-driven model of the Tigris accelerator and its baselines.
+
+* :class:`AcceleratorConfig` — the hardware design point (RU/SU/PE
+  counts, buffer sizes, the Fig. 12/13 ablation switches);
+* :func:`build_workload` / :func:`registration_workload` — capture
+  functional search traces;
+* :class:`TigrisSimulator` — cycle-approximate timing + energy;
+* :class:`CPUModel` / :class:`GPUModel` — the baseline devices;
+* :func:`estimate_area` — the Sec. 6.2 area split.
+"""
+
+from repro.accel.area import AreaParameters, AreaReport, estimate_area
+from repro.accel.backend import BackEndReport, simulate_backend
+from repro.accel.baselines import CPUModel, DeviceReport, GPUModel
+from repro.accel.config import AcceleratorConfig, BackEndConfig, FrontEndConfig
+from repro.accel.coupled import CoupledTiming, simulate_coupled
+from repro.accel.endtoend import EndToEndModel, SystemPhase, amdahl_speedup
+from repro.accel.energy import EnergyBreakdown, EnergyParameters, estimate_energy
+from repro.accel.frontend import FrontEndReport, simulate_frontend
+from repro.accel.memory import TrafficCounters
+from repro.accel.simulator import SimulationResult, TigrisSimulator
+from repro.accel.sweep import (
+    HardwareSweep,
+    HeightSweep,
+    sweep_hardware,
+    sweep_top_height,
+)
+from repro.accel.workload import SearchWorkload, build_workload, registration_workload
+
+__all__ = [
+    "AcceleratorConfig",
+    "FrontEndConfig",
+    "BackEndConfig",
+    "TigrisSimulator",
+    "SimulationResult",
+    "SearchWorkload",
+    "build_workload",
+    "registration_workload",
+    "simulate_frontend",
+    "FrontEndReport",
+    "simulate_backend",
+    "BackEndReport",
+    "TrafficCounters",
+    "EnergyParameters",
+    "EnergyBreakdown",
+    "estimate_energy",
+    "AreaParameters",
+    "AreaReport",
+    "estimate_area",
+    "CPUModel",
+    "GPUModel",
+    "DeviceReport",
+    "EndToEndModel",
+    "SystemPhase",
+    "amdahl_speedup",
+    "HardwareSweep",
+    "HeightSweep",
+    "sweep_hardware",
+    "sweep_top_height",
+    "CoupledTiming",
+    "simulate_coupled",
+]

@@ -1,0 +1,65 @@
+"""Area model (paper Sec. 6.2).
+
+The paper reports, for the 64 RU / 32 SU / 32 PE configuration at
+16 nm: 8.38 mm^2 of SRAM and 7.19 mm^2 of combinational logic — 53.8 %
+memory, 46.2 % compute.  This model reproduces those numbers with two
+density constants (mm^2 per KB of SRAM; mm^2 per distance-compute
+datapath) and scales them across configurations for the sensitivity
+study (Fig. 14's hardware sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.config import AcceleratorConfig
+
+__all__ = ["AreaParameters", "AreaReport", "estimate_area"]
+
+
+@dataclass(frozen=True)
+class AreaParameters:
+    """Density constants calibrated to the paper's design point.
+
+    8.38 mm^2 / 9068.8 KB total SRAM and 7.19 mm^2 / (64 RU + 1024 PE)
+    distance datapaths yield the defaults below.
+    """
+
+    sram_mm2_per_kb: float = 8.38 / 9068.8
+    datapath_mm2_per_unit: float = 7.19 / (64 + 32 * 32)
+
+
+@dataclass
+class AreaReport:
+    """Area split for one configuration, in mm^2."""
+
+    sram_mm2: float
+    logic_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        return self.sram_mm2 + self.logic_mm2
+
+    @property
+    def sram_fraction(self) -> float:
+        return self.sram_mm2 / self.total_mm2 if self.total_mm2 else 0.0
+
+    @property
+    def logic_fraction(self) -> float:
+        return self.logic_mm2 / self.total_mm2 if self.total_mm2 else 0.0
+
+
+def estimate_area(
+    config: AcceleratorConfig, parameters: AreaParameters | None = None
+) -> AreaReport:
+    """Estimate die area for a configuration.
+
+    Every RU and every PE is dominated by its 32-bit floating-point
+    euclidean-distance datapath (paper Sec. 6.2), so logic area scales
+    with the unit count; SRAM area scales with total buffer capacity.
+    """
+    params = parameters or AreaParameters()
+    sram = config.total_sram_kb * params.sram_mm2_per_kb
+    units = config.n_recursion_units + config.total_pes
+    logic = units * params.datapath_mm2_per_unit
+    return AreaReport(sram_mm2=sram, logic_mm2=logic)

@@ -1,0 +1,208 @@
+"""Back-end (Search Unit) timing model (paper Sec. 5.3, Fig. 10).
+
+Leaf visits issued by the front-end are routed to Search Units by the
+leaf id's low-order bits (the paper's simple, insensitive mapping).
+Each SU batches queries onto its PE array:
+
+* **MQSN** — all PEs of a batch process queries from the *same* leaf
+  set; the node stream is fetched once and flows through the systolic
+  array (query-stationary).  Memory-efficient; utilization depends on
+  how many same-leaf queries the issue logic can gather.
+* **MQMN** — PEs take any queries; batches always fill, but every PE
+  streams its own node set (traffic multiplies).
+
+Per-batch cycles = pipeline fill + the longest node stream in the
+batch, plus the leader-check computations of the approximate search
+(executed on the same PEs, Sec. 5.3).  A per-SU LRU node cache serves
+repeat leaf-set fetches, cutting Points Buffer traffic (Fig. 13).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+
+from repro.accel.config import AcceleratorConfig
+from repro.accel.memory import TrafficCounters
+from repro.accel.workload import SearchWorkload
+from repro.core.trace import LeafVisitRecord
+
+__all__ = ["BackEndReport", "simulate_backend"]
+
+
+@dataclass
+class BackEndReport:
+    """Back-end simulation outcome."""
+
+    cycles: int
+    busy_cycles: int
+    utilization: float
+    traffic: TrafficCounters
+    distance_computations: int
+    n_batches: int
+    node_cache_hits: int
+    node_cache_misses: int
+
+
+class _LeafLRUCache:
+    """LRU cache of leaf-set node streams, keyed by leaf id."""
+
+    def __init__(self, entries: int):
+        self._capacity = entries
+        self._entries: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, leaf_id: int) -> bool:
+        """Record an access; returns True on hit."""
+        if self._capacity == 0:
+            self.misses += 1
+            return False
+        if leaf_id in self._entries:
+            self._entries.move_to_end(leaf_id)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._entries[leaf_id] = None
+        if len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+        return False
+
+
+def simulate_backend(
+    workload: SearchWorkload, config: AcceleratorConfig
+) -> BackEndReport:
+    """Replay all leaf visits on the SU/PE arrays."""
+    n_sus = config.n_search_units
+    n_pes = config.pes_per_su
+    backend = config.backend
+
+    # Route active (non-pruned) leaf visits to SUs by leaf-id low bits.
+    per_su: list[list[LeafVisitRecord]] = [[] for _ in range(n_sus)]
+    for trace in workload.traces:
+        for visit in trace.leaf_visits:
+            if visit.pruned:
+                continue
+            per_su[visit.leaf_id % n_sus].append(visit)
+
+    traffic = TrafficCounters()
+    total_cycles = 0
+    total_busy = 0
+    total_batches = 0
+    total_compute = 0
+    cache_hits = 0
+    cache_misses = 0
+
+    for su_visits in per_su:
+        if not su_visits:
+            continue
+        cache = _LeafLRUCache(backend.node_cache_entries)
+        batches = _form_batches(
+            su_visits, n_pes, backend.scheduling, backend.issue_window
+        )
+        su_cycles = 0
+        for batch in batches:
+            longest_stream = max(v.scanned for v in batch)
+            longest_checks = max(v.leader_checks for v in batch)
+            # Leader checks reuse the PE array in parallel (Sec. 5.3:
+            # "We reuse the PEs in the SU for these computations"), so a
+            # buffer of L leaders costs ceil(L / PEs) cycles, not L.
+            check_cycles = -(-longest_checks // n_pes) if longest_checks else 0
+            su_cycles += (
+                1  # issue (associative search, amortized)
+                + backend.pipeline_fill_cycles
+                + check_cycles
+                + longest_stream
+            )
+            total_busy += sum(v.scanned + v.leader_checks for v in batch)
+            total_compute += sum(v.scanned + v.leader_checks for v in batch)
+
+            # Memory traffic.
+            traffic.be_query_buffer += len(batch)  # BQB pops
+            traffic.query_buffer += len(batch)  # query point fetches
+            precise = [v for v in batch if not v.approximate]
+            followers = [v for v in batch if v.approximate]
+            if backend.scheduling == "mqsn":
+                # One shared node stream per batch (all same leaf).
+                if precise:
+                    stream = max(v.scanned for v in precise)
+                    if cache.access(batch[0].leaf_id):
+                        traffic.node_cache += stream
+                    else:
+                        traffic.points_buffer += stream
+            else:
+                # Every precise visit streams its own node set.
+                for visit in precise:
+                    if cache.access(visit.leaf_id):
+                        traffic.node_cache += visit.scanned
+                    else:
+                        traffic.points_buffer += visit.scanned
+            for visit in followers:
+                traffic.result_buffer += visit.scanned  # leader-result reads
+            for visit in batch:
+                traffic.leader_buffer += visit.leader_checks
+                traffic.result_buffer += max(visit.result_size, 1)  # writes
+        total_cycles = max(total_cycles, su_cycles)
+        total_batches += len(batches)
+        cache_hits += cache.hits
+        cache_misses += cache.misses
+
+    # Result spills: the double-buffered Result Buffer writes final
+    # results out to DRAM once per query result.
+    traffic.dram += workload.total_results
+
+    capacity = total_cycles * n_sus * n_pes
+    utilization = total_busy / capacity if capacity else 0.0
+    return BackEndReport(
+        cycles=total_cycles,
+        busy_cycles=total_busy,
+        utilization=utilization,
+        traffic=traffic,
+        distance_computations=total_compute,
+        n_batches=total_batches,
+        node_cache_hits=cache_hits,
+        node_cache_misses=cache_misses,
+    )
+
+
+def _form_batches(
+    visits: list[LeafVisitRecord], n_pes: int, scheduling: str, window: int
+) -> list[list[LeafVisitRecord]]:
+    """Group visits into PE batches.
+
+    MQSN mirrors the paper's issue logic: take the first query in the
+    BE Query Buffer as the search key and associatively gather matching
+    queries from the next ``window`` entries (Sec. 5.3 searches in
+    groups of 32).  The key is (leaf id, precise/approximate): a
+    systolic batch streams exactly one node source — the Input Point
+    Buffer for precise visits, the Result Buffer for followers — so the
+    two modes cannot share a pass.  Because the scheduling window is
+    bounded, a leaf's visits recur across separated batches — which is
+    exactly the reuse the node cache exists to capture.  MQMN batches
+    are first-come-first-served regardless of leaf.
+    """
+    batches: list[list[LeafVisitRecord]] = []
+    if scheduling == "mqsn":
+        queue = deque(visits)
+        while queue:
+            key = queue.popleft()
+            batch = [key]
+            scanned: deque[LeafVisitRecord] = deque()
+            examined = 0
+            while queue and len(batch) < n_pes and examined < window:
+                candidate = queue.popleft()
+                examined += 1
+                if (
+                    candidate.leaf_id == key.leaf_id
+                    and candidate.approximate == key.approximate
+                ):
+                    batch.append(candidate)
+                else:
+                    scanned.append(candidate)
+            # Unmatched entries return to the queue head in order.
+            queue.extendleft(reversed(scanned))
+            batches.append(batch)
+    else:
+        for start in range(0, len(visits), n_pes):
+            batches.append(visits[start : start + n_pes])
+    return batches

@@ -1,0 +1,83 @@
+"""Memory traffic accounting (paper Fig. 13).
+
+Every buffer of the accelerator (Fig. 8) gets an access counter, in
+units of *words* — one word is one point record (or one queue/stack
+entry).  The front-end and back-end timing models deposit their traffic
+here; the energy model converts counts into joules; the Fig. 13 bench
+reports the distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["TrafficCounters"]
+
+
+@dataclass
+class TrafficCounters:
+    """Access counts per architectural buffer (reads + writes merged,
+    except the split the energy model needs)."""
+
+    fe_query_queue: int = 0  # query pops/pushes at the FE
+    query_buffer: int = 0  # query point fetches
+    query_stack: int = 0  # recursion stack pushes + pops
+    points_buffer: int = 0  # tree-node / leaf-set point fetches from SRAM
+    node_cache: int = 0  # leaf-set point fetches served by the cache
+    be_query_buffer: int = 0  # BQB enqueue/issue traffic
+    result_buffer: int = 0  # result writes + leader-result reads
+    leader_buffer: int = 0  # leader position reads/writes
+    dram: int = 0  # result spills to DRAM (words)
+
+    # Write-shares per buffer: the fraction of accesses that are writes
+    # (the rest are reads).  Used by the energy model's read/write split.
+    _WRITE_SHARE = {
+        "fe_query_queue": 0.5,
+        "query_buffer": 0.0,
+        "query_stack": 0.5,
+        "points_buffer": 0.0,
+        "node_cache": 0.2,
+        "be_query_buffer": 0.5,
+        "result_buffer": 0.8,
+        "leader_buffer": 0.3,
+        "dram": 1.0,
+    }
+
+    def merge(self, other: "TrafficCounters") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    @property
+    def total(self) -> int:
+        return (
+            self.fe_query_queue
+            + self.query_buffer
+            + self.query_stack
+            + self.points_buffer
+            + self.node_cache
+            + self.be_query_buffer
+            + self.result_buffer
+            + self.leader_buffer
+        )
+
+    def distribution(self) -> dict[str, float]:
+        """Fraction of on-chip traffic per buffer (the Fig. 13 bars)."""
+        total = self.total
+        if total == 0:
+            return {}
+        return {
+            "FE Query Q": self.fe_query_queue / total,
+            "Query Buf": self.query_buffer / total,
+            "Query Stacks": self.query_stack / total,
+            "Res. Buf": self.result_buffer / total,
+            "BE Query Q": self.be_query_buffer / total,
+            "Node Cache": self.node_cache / total,
+            "Points Buf": self.points_buffer / total,
+        }
+
+    def reads_writes(self, buffer_name: str) -> tuple[int, int]:
+        """Split a buffer's accesses into (reads, writes)."""
+        count = getattr(self, buffer_name)
+        share = self._WRITE_SHARE[buffer_name]
+        writes = int(round(count * share))
+        return count - writes, writes

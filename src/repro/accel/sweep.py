@@ -1,0 +1,147 @@
+"""Hardware and structure sweeps (paper Sec. 6.5, Fig. 14/15).
+
+Library-level drivers for the sensitivity studies: sweep the RU/SU/PE
+unit counts over a workload (Fig. 14), or sweep the two-stage tree's
+top height and re-trace the workload per height (Fig. 15).  The
+benchmark files are thin wrappers over these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accel.config import AcceleratorConfig
+from repro.accel.simulator import SimulationResult, TigrisSimulator
+from repro.accel.workload import SearchWorkload, registration_workload
+from repro.core.approx import ApproximateSearchConfig
+
+__all__ = ["HardwareSweep", "sweep_hardware", "sweep_top_height", "HeightSweep"]
+
+
+@dataclass
+class HardwareSweep:
+    """Fig. 14 results: one simulation per (RU, SU, PE) combination."""
+
+    results: dict[tuple[int, int, int], SimulationResult]
+
+    def best(self) -> tuple[tuple[int, int, int], SimulationResult]:
+        """The fastest configuration."""
+        key = min(self.results, key=lambda k: self.results[k].time_seconds)
+        return key, self.results[key]
+
+    def pareto(self) -> list[tuple[int, int, int]]:
+        """Configs not dominated in (time, power) — the Fig. 14a frontier."""
+        keys = list(self.results)
+        frontier = []
+        for key in keys:
+            mine = self.results[key]
+            dominated = any(
+                other is not mine
+                and other.time_seconds <= mine.time_seconds
+                and other.power_watts <= mine.power_watts
+                and (
+                    other.time_seconds < mine.time_seconds
+                    or other.power_watts < mine.power_watts
+                )
+                for other in self.results.values()
+            )
+            if not dominated:
+                frontier.append(key)
+        return sorted(frontier)
+
+    def table(self) -> str:
+        lines = [f"{'RU':>4}{'SU':>5}{'PE':>5}{'time(us)':>11}{'power(W)':>10}"]
+        for key in sorted(self.results):
+            result = self.results[key]
+            lines.append(
+                f"{key[0]:>4}{key[1]:>5}{key[2]:>5}"
+                f"{result.time_seconds * 1e6:>11.2f}{result.power_watts:>10.2f}"
+            )
+        return "\n".join(lines)
+
+
+def sweep_hardware(
+    workloads: list[SearchWorkload],
+    ru_values: tuple[int, ...] = (16, 32, 64, 128),
+    su_values: tuple[int, ...] = (16, 32, 64, 128),
+    pe_values: tuple[int, ...] = (16, 32, 64, 128),
+    base_config: AcceleratorConfig | None = None,
+) -> HardwareSweep:
+    """Simulate the workloads under every unit-count combination."""
+    base = base_config or AcceleratorConfig()
+    results: dict[tuple[int, int, int], SimulationResult] = {}
+    for n_rus in ru_values:
+        for n_sus in su_values:
+            for n_pes in pe_values:
+                config = AcceleratorConfig(
+                    n_recursion_units=n_rus,
+                    n_search_units=n_sus,
+                    pes_per_su=n_pes,
+                    clock_ghz=base.clock_ghz,
+                    frontend=base.frontend,
+                    backend=base.backend,
+                )
+                results[(n_rus, n_sus, n_pes)] = TigrisSimulator(
+                    config
+                ).simulate_many(workloads)
+    return HardwareSweep(results=results)
+
+
+@dataclass
+class HeightSweep:
+    """Fig. 15 results: one simulation per top-tree height."""
+
+    results: dict[int, SimulationResult]
+    n_points: int
+    heights: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def optimal_height(self) -> int:
+        return min(self.results, key=lambda h: self.results[h].time_seconds)
+
+    def table(self) -> str:
+        lines = [
+            f"{'height':>7}{'leaf size':>11}{'time(us)':>11}"
+            f"{'energy(uJ)':>12}{'bound':>10}"
+        ]
+        for height in sorted(self.results):
+            result = self.results[height]
+            lines.append(
+                f"{height:>7}{self.n_points / 2**height:>11.0f}"
+                f"{result.time_seconds * 1e6:>11.2f}"
+                f"{result.energy_joules * 1e6:>12.2f}"
+                f"{result.bound:>10}"
+            )
+        return "\n".join(lines)
+
+
+def sweep_top_height(
+    source_points: np.ndarray,
+    target_points: np.ndarray,
+    heights: tuple[int, ...],
+    normal_radius: float = 0.75,
+    icp_iterations: int = 2,
+    approx: ApproximateSearchConfig | None = None,
+    config: AcceleratorConfig | None = None,
+) -> HeightSweep:
+    """Re-trace and simulate a registration workload per top height."""
+    simulator = TigrisSimulator(config)
+    results: dict[int, SimulationResult] = {}
+    for height in heights:
+        workloads = registration_workload(
+            source_points,
+            target_points,
+            normal_radius=normal_radius,
+            icp_iterations=icp_iterations,
+            leaf_size=None,
+            top_height=height,
+            approx=approx,
+        )
+        results[height] = simulator.simulate_many(list(workloads.values()))
+    return HeightSweep(
+        results=results,
+        n_points=len(np.atleast_2d(source_points)),
+        heights=tuple(heights),
+    )

@@ -1,0 +1,74 @@
+"""Per-query search traces.
+
+The accelerator model (:mod:`repro.accel`) is trace-driven: the functional
+two-stage search records, for every query, how much front-end (top-tree)
+and back-end (leaf-set) work it performed, and the timing/energy models
+replay those records against a hardware configuration.  The trace is also
+what the redundancy study (Fig. 6) and the memory-traffic analysis
+(Fig. 13) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LeafVisitRecord", "QueryTrace"]
+
+
+@dataclass
+class LeafVisitRecord:
+    """One visit of a query to one leaf set of the two-stage tree.
+
+    ``scanned`` counts brute-force distance computations (leaf children on
+    the precise path, or the leader's result set on the approximate path).
+    ``leader_checks`` counts distance computations against the leader
+    buffer (zero in exact mode).  ``pruned`` leaf visits were popped from
+    the traversal stack but skipped by the bounding test — the back-end
+    never sees them.
+    """
+
+    leaf_id: int
+    scanned: int = 0
+    approximate: bool = False
+    leader_checks: int = 0
+    became_leader: bool = False
+    pruned: bool = False
+    result_size: int = 0
+
+
+@dataclass
+class QueryTrace:
+    """Work performed by a single query on the two-stage tree.
+
+    ``toptree_visits`` counts fully processed top-tree nodes (the
+    front-end Recursion Unit iterates once per such node);
+    ``toptree_bypassed`` counts nodes popped but pruned by the bounding
+    test (candidates for the RU's node-bypassing optimization);
+    ``stack_pushes`` counts query-stack pushes (traffic to the Query
+    Stack Buffer).
+    """
+
+    toptree_visits: int = 0
+    toptree_bypassed: int = 0
+    stack_pushes: int = 0
+    leaf_visits: list[LeafVisitRecord] = field(default_factory=list)
+    results: int = 0
+
+    @property
+    def leaf_scanned(self) -> int:
+        """Total brute-force distance computations in the back-end."""
+        return sum(v.scanned for v in self.leaf_visits)
+
+    @property
+    def leader_checks(self) -> int:
+        return sum(v.leader_checks for v in self.leaf_visits)
+
+    @property
+    def nodes_visited(self) -> int:
+        """Front-end + back-end distance computations (Fig. 6 unit)."""
+        return self.toptree_visits + self.leaf_scanned
+
+    @property
+    def active_leaf_visits(self) -> list[LeafVisitRecord]:
+        """Leaf visits that actually reached the back-end (not pruned)."""
+        return [v for v in self.leaf_visits if not v.pruned]

@@ -1,0 +1,569 @@
+"""Two-stage KD-tree (paper Sec. 4.1, Fig. 5b).
+
+The two-stage KD-tree splits the canonical KD-tree into a *top-tree* —
+identical to the first ``top_height`` levels of the classic structure —
+and *unordered leaf sets*: the members of each subtree rooted just below
+the top-tree, stored flat with no internal ordering.  Searching traverses
+the top-tree with normal pruning, then exhaustively (and, in hardware,
+in parallel) scans each reached leaf set.
+
+The structure trades redundant work for parallelism: a shorter top-tree
+means larger leaf sets, more brute-force work (Fig. 6), but more
+node-level parallelism for the accelerator back-end.  At
+``top_height = 0`` search degenerates to a full brute-force scan; at
+``top_height >= log2(n)`` it matches the canonical tree.
+
+Leaf scans are vectorized with numpy — deliberately mirroring the
+data-parallel processing-element array of the accelerator back-end.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from repro.core.trace import LeafVisitRecord, QueryTrace
+from repro.kdtree.stats import SearchStats
+
+__all__ = ["TwoStageKDTree"]
+
+# Child-slot encoding in the flat node arrays: values >= 0 are top-tree
+# node ids, NO_CHILD marks an absent child, and values <= LEAF_BASE encode
+# leaf-set ids as LEAF_BASE - leaf_id.
+_NO_CHILD = -1
+_LEAF_BASE = -2
+
+
+def _encode_leaf(leaf_id: int) -> int:
+    return _LEAF_BASE - leaf_id
+
+
+def _decode_leaf(code: int) -> int:
+    return _LEAF_BASE - code
+
+
+class TwoStageKDTree:
+    """Top-tree over median splits + unordered leaf sets.
+
+    Parameters
+    ----------
+    points:
+        (N, k) data array (copied).
+    top_height:
+        Number of top-tree levels.  Nodes exist at depths
+        ``0 .. top_height - 1``; every subtree that would start at depth
+        ``top_height`` is flattened into an unordered leaf set.  ``0``
+        collapses the structure to one big brute-force set.
+    split_rule:
+        As for :class:`repro.kdtree.KDTree`.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        top_height: int,
+        split_rule: str = "widest",
+    ):
+        points = np.array(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError(f"points must be (N, k), got shape {points.shape}")
+        if len(points) == 0:
+            raise ValueError("cannot build a two-stage KD-tree over zero points")
+        if not np.all(np.isfinite(points)):
+            raise ValueError("points contain NaN or infinity")
+        if top_height < 0:
+            raise ValueError("top_height must be >= 0")
+        if split_rule not in ("widest", "cyclic"):
+            raise ValueError("split_rule must be 'widest' or 'cyclic'")
+        self._points = points
+        self._top_height = int(top_height)
+        self._split_rule = split_rule
+        self._build()
+
+    @classmethod
+    def from_leaf_size(
+        cls,
+        points: np.ndarray,
+        leaf_size: int,
+        split_rule: str = "widest",
+    ) -> "TwoStageKDTree":
+        """Build with the top-tree height that yields ~``leaf_size`` sets.
+
+        Leaf-set size is approximately ``n / 2**top_height`` (paper
+        Sec. 4.1: leaf-set size 1 is the classic KD-tree), so
+        ``top_height = round(log2(n / leaf_size))``.
+        """
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        n = len(np.atleast_2d(points))
+        height = max(0, round(math.log2(max(n, 1) / leaf_size)))
+        return cls(points, top_height=height, split_rule=split_rule)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        n, ndim = self._points.shape
+        node_point: list[int] = []
+        node_dim: list[int] = []
+        node_value: list[float] = []
+        node_left: list[int] = []
+        node_right: list[int] = []
+        node_depth: list[int] = []
+        leaf_members: list[np.ndarray] = []
+
+        def make_leaf(indices: np.ndarray) -> int:
+            leaf_members.append(indices)
+            return _encode_leaf(len(leaf_members) - 1)
+
+        def choose_dim(indices: np.ndarray, depth: int) -> int:
+            if self._split_rule == "cyclic" or len(indices) == 1:
+                return depth % ndim
+            member_points = self._points[indices]
+            spread = member_points.max(axis=0) - member_points.min(axis=0)
+            return int(np.argmax(spread))
+
+        self._root_ref = _NO_CHILD
+        if self._top_height == 0:
+            self._root_ref = make_leaf(np.arange(n, dtype=np.int64))
+        else:
+            # Tasks: (member indices, depth, parent node id, is_left).
+            tasks: list[tuple[np.ndarray, int, int, bool]] = [
+                (np.arange(n, dtype=np.int64), 0, _NO_CHILD, False)
+            ]
+            while tasks:
+                indices, depth, parent, is_left = tasks.pop()
+                if len(indices) == 0:
+                    ref = _NO_CHILD
+                elif depth >= self._top_height:
+                    ref = make_leaf(indices)
+                else:
+                    dim = choose_dim(indices, depth)
+                    values = self._points[indices, dim]
+                    mid = (len(indices) - 1) // 2
+                    if len(indices) == 1:
+                        order = np.array([0], dtype=np.int64)
+                    else:
+                        order = np.argpartition(values, mid)
+                    node = len(node_point)
+                    node_point.append(int(indices[order[mid]]))
+                    node_dim.append(dim)
+                    node_value.append(float(values[order[mid]]))
+                    node_left.append(_NO_CHILD)
+                    node_right.append(_NO_CHILD)
+                    node_depth.append(depth)
+                    tasks.append((indices[order[:mid]], depth + 1, node, True))
+                    tasks.append((indices[order[mid + 1 :]], depth + 1, node, False))
+                    ref = node
+                if parent == _NO_CHILD:
+                    if ref != _NO_CHILD and self._root_ref == _NO_CHILD:
+                        self._root_ref = ref
+                elif is_left:
+                    node_left[parent] = ref
+                else:
+                    node_right[parent] = ref
+
+        self._node_point = np.array(node_point, dtype=np.int64)
+        self._node_dim = np.array(node_dim, dtype=np.int64)
+        self._node_value = np.array(node_value, dtype=np.float64)
+        self._node_left = np.array(node_left, dtype=np.int64)
+        self._node_right = np.array(node_right, dtype=np.int64)
+        self._node_depth = np.array(node_depth, dtype=np.int64)
+
+        # Flatten leaf sets into one contiguous, scan-friendly layout.
+        counts = np.array([len(m) for m in leaf_members], dtype=np.int64)
+        if len(counts):
+            starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            member_concat = np.concatenate(leaf_members)
+        else:
+            starts = np.empty(0, dtype=np.int64)
+            member_concat = np.empty(0, dtype=np.int64)
+        self._leaf_start = starts
+        self._leaf_count = counts
+        self._leaf_orig = member_concat
+        self._leaf_points = (
+            self._points[member_concat]
+            if len(member_concat)
+            else np.empty((0, ndim))
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def points(self) -> np.ndarray:
+        return self._points
+
+    @property
+    def n(self) -> int:
+        return len(self._points)
+
+    @property
+    def ndim(self) -> int:
+        return self._points.shape[1]
+
+    @property
+    def top_height(self) -> int:
+        return self._top_height
+
+    @property
+    def n_top_nodes(self) -> int:
+        return len(self._node_point)
+
+    @property
+    def n_leaf_sets(self) -> int:
+        return len(self._leaf_count)
+
+    @property
+    def leaf_set_sizes(self) -> np.ndarray:
+        return self._leaf_count.copy()
+
+    @property
+    def mean_leaf_size(self) -> float:
+        if len(self._leaf_count) == 0:
+            return 0.0
+        return float(self._leaf_count.mean())
+
+    def leaf_set_indices(self, leaf_id: int) -> np.ndarray:
+        """Original point indices stored in leaf set ``leaf_id``, sorted."""
+        start = self._leaf_start[leaf_id]
+        count = self._leaf_count[leaf_id]
+        return np.sort(self._leaf_orig[start : start + count])
+
+    def __repr__(self) -> str:
+        return (
+            f"TwoStageKDTree(n={self.n}, ndim={self.ndim}, "
+            f"top_height={self.top_height}, leaf_sets={self.n_leaf_sets}, "
+            f"mean_leaf_size={self.mean_leaf_size:.1f})"
+        )
+
+    # ------------------------------------------------------------------
+    # Leaf scan primitives (exact mode).  The approximate search in
+    # repro.core.approx supplies its own scan strategy via the same hook.
+    # ------------------------------------------------------------------
+
+    def scan_leaf(
+        self, leaf_id: int, query: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Brute-force one leaf set: (original indices, squared distances)."""
+        start = self._leaf_start[leaf_id]
+        count = self._leaf_count[leaf_id]
+        members = self._leaf_points[start : start + count]
+        diff = members - query
+        sq = np.einsum("ij,ij->i", diff, diff)
+        return self._leaf_orig[start : start + count], sq
+
+    def _exact_leaf_scan(self, leaf_id, query, record):
+        indices, sq = self.scan_leaf(leaf_id, query)
+        record.scanned = len(indices)
+        return indices, sq
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _check_query(self, query: np.ndarray) -> np.ndarray:
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if len(query) != self.ndim:
+            raise ValueError(
+                f"query has dimension {len(query)}, tree has {self.ndim}"
+            )
+        if not np.all(np.isfinite(query)):
+            raise ValueError("query contains NaN or infinity")
+        return query
+
+    def nn(
+        self,
+        query: np.ndarray,
+        stats: SearchStats | None = None,
+        trace: list[QueryTrace] | None = None,
+        leaf_scan=None,
+    ) -> tuple[int, float]:
+        """Nearest neighbor: (point index, distance)."""
+        query = self._check_query(query)
+        leaf_scan = leaf_scan or self._exact_leaf_scan
+        record = QueryTrace()
+        best_sq = np.inf
+        best_idx = -1
+
+        contrib = np.zeros(self.ndim)
+        stack: list[tuple[int, float, np.ndarray]] = []
+        if self._root_ref != _NO_CHILD:
+            stack.append((self._root_ref, 0.0, contrib))
+            record.stack_pushes += 1
+        while stack:
+            ref, bound_sq, contrib = stack.pop()
+            if ref <= _LEAF_BASE:
+                leaf_id = _decode_leaf(ref)
+                visit = LeafVisitRecord(leaf_id=leaf_id)
+                record.leaf_visits.append(visit)
+                if bound_sq > best_sq:
+                    visit.pruned = True
+                    continue
+                indices, sq = leaf_scan(leaf_id, query, visit)
+                if len(indices):
+                    j = int(np.argmin(sq))
+                    if sq[j] < best_sq:
+                        best_sq = float(sq[j])
+                        best_idx = int(indices[j])
+                continue
+            if bound_sq > best_sq:
+                record.toptree_bypassed += 1
+                continue
+            record.toptree_visits += 1
+            pidx = self._node_point[ref]
+            diff = query - self._points[pidx]
+            d_sq = float(diff @ diff)
+            if d_sq < best_sq:
+                best_sq = d_sq
+                best_idx = int(pidx)
+            dim = self._node_dim[ref]
+            delta = query[dim] - self._node_value[ref]
+            left_child = self._node_left[ref]
+            right_child = self._node_right[ref]
+            if delta < 0:
+                near, far = left_child, right_child
+            else:
+                near, far = right_child, left_child
+            if far != _NO_CHILD:
+                far_bound = bound_sq - contrib[dim] + delta * delta
+                far_contrib = contrib.copy()
+                far_contrib[dim] = delta * delta
+                stack.append((int(far), far_bound, far_contrib))
+                record.stack_pushes += 1
+            if near != _NO_CHILD:
+                stack.append((int(near), bound_sq, contrib))
+                record.stack_pushes += 1
+
+        record.results = 1 if best_idx >= 0 else 0
+        self._account(record, stats, trace)
+        return best_idx, float(np.sqrt(best_sq)) if best_idx >= 0 else np.inf
+
+    def knn(
+        self,
+        query: np.ndarray,
+        k: int,
+        stats: SearchStats | None = None,
+        trace: list[QueryTrace] | None = None,
+        leaf_scan=None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The ``k`` nearest neighbors, sorted by ascending distance."""
+        query = self._check_query(query)
+        if k <= 0:
+            raise ValueError("k must be positive")
+        k = min(k, self.n)
+        leaf_scan = leaf_scan or self._exact_leaf_scan
+        record = QueryTrace()
+        heap: list[tuple[float, int]] = []  # max-heap via negated distances
+
+        def bound() -> float:
+            return -heap[0][0] if len(heap) == k else np.inf
+
+        def offer(idx: int, d_sq: float) -> None:
+            if len(heap) < k:
+                heapq.heappush(heap, (-d_sq, idx))
+            elif d_sq < -heap[0][0]:
+                heapq.heapreplace(heap, (-d_sq, idx))
+
+        contrib = np.zeros(self.ndim)
+        stack: list[tuple[int, float, np.ndarray]] = []
+        if self._root_ref != _NO_CHILD:
+            stack.append((self._root_ref, 0.0, contrib))
+            record.stack_pushes += 1
+        while stack:
+            ref, bound_sq, contrib = stack.pop()
+            if ref <= _LEAF_BASE:
+                leaf_id = _decode_leaf(ref)
+                visit = LeafVisitRecord(leaf_id=leaf_id)
+                record.leaf_visits.append(visit)
+                if bound_sq > bound():
+                    visit.pruned = True
+                    continue
+                indices, sq = leaf_scan(leaf_id, query, visit)
+                for idx, d_sq in zip(indices, sq):
+                    offer(int(idx), float(d_sq))
+                continue
+            if bound_sq > bound():
+                record.toptree_bypassed += 1
+                continue
+            record.toptree_visits += 1
+            pidx = self._node_point[ref]
+            diff = query - self._points[pidx]
+            offer(int(pidx), float(diff @ diff))
+            dim = self._node_dim[ref]
+            delta = query[dim] - self._node_value[ref]
+            left_child = self._node_left[ref]
+            right_child = self._node_right[ref]
+            if delta < 0:
+                near, far = left_child, right_child
+            else:
+                near, far = right_child, left_child
+            if far != _NO_CHILD:
+                far_bound = bound_sq - contrib[dim] + delta * delta
+                far_contrib = contrib.copy()
+                far_contrib[dim] = delta * delta
+                stack.append((int(far), far_bound, far_contrib))
+                record.stack_pushes += 1
+            if near != _NO_CHILD:
+                stack.append((int(near), bound_sq, contrib))
+                record.stack_pushes += 1
+
+        entries = sorted(((-neg_sq, idx) for neg_sq, idx in heap))
+        indices = np.array([idx for _, idx in entries], dtype=np.int64)
+        dists = np.sqrt(np.array([sq for sq, _ in entries]))
+        record.results = len(indices)
+        self._account(record, stats, trace)
+        return indices, dists
+
+    def radius(
+        self,
+        query: np.ndarray,
+        r: float,
+        stats: SearchStats | None = None,
+        sort: bool = False,
+        trace: list[QueryTrace] | None = None,
+        leaf_scan=None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """All neighbors within distance ``r``: (indices, distances)."""
+        query = self._check_query(query)
+        if r < 0:
+            raise ValueError("radius must be non-negative")
+        leaf_scan = leaf_scan or self._exact_leaf_scan
+        record = QueryTrace()
+        r_sq = r * r
+        found_idx: list[np.ndarray] = []
+        found_sq: list[np.ndarray] = []
+
+        contrib = np.zeros(self.ndim)
+        stack: list[tuple[int, float, np.ndarray]] = []
+        if self._root_ref != _NO_CHILD:
+            stack.append((self._root_ref, 0.0, contrib))
+            record.stack_pushes += 1
+        while stack:
+            ref, bound_sq, contrib = stack.pop()
+            if ref <= _LEAF_BASE:
+                leaf_id = _decode_leaf(ref)
+                visit = LeafVisitRecord(leaf_id=leaf_id)
+                record.leaf_visits.append(visit)
+                if bound_sq > r_sq:
+                    visit.pruned = True
+                    continue
+                indices, sq = leaf_scan(leaf_id, query, visit)
+                mask = sq <= r_sq
+                if np.any(mask):
+                    found_idx.append(np.asarray(indices)[mask])
+                    found_sq.append(np.asarray(sq)[mask])
+                visit.result_size = int(np.count_nonzero(mask))
+                continue
+            if bound_sq > r_sq:
+                record.toptree_bypassed += 1
+                continue
+            record.toptree_visits += 1
+            pidx = self._node_point[ref]
+            diff = query - self._points[pidx]
+            d_sq = float(diff @ diff)
+            if d_sq <= r_sq:
+                found_idx.append(np.array([pidx], dtype=np.int64))
+                found_sq.append(np.array([d_sq]))
+            dim = self._node_dim[ref]
+            delta = query[dim] - self._node_value[ref]
+            left_child = self._node_left[ref]
+            right_child = self._node_right[ref]
+            if delta < 0:
+                near, far = left_child, right_child
+            else:
+                near, far = right_child, left_child
+            if far != _NO_CHILD:
+                far_bound = bound_sq - contrib[dim] + delta * delta
+                far_contrib = contrib.copy()
+                far_contrib[dim] = delta * delta
+                stack.append((int(far), far_bound, far_contrib))
+                record.stack_pushes += 1
+            if near != _NO_CHILD:
+                stack.append((int(near), bound_sq, contrib))
+                record.stack_pushes += 1
+
+        if found_idx:
+            indices = np.concatenate(found_idx).astype(np.int64)
+            dists = np.sqrt(np.concatenate(found_sq))
+        else:
+            indices = np.empty(0, dtype=np.int64)
+            dists = np.empty(0)
+        record.results = len(indices)
+        self._account(record, stats, trace)
+        if sort and len(indices):
+            order = np.argsort(dists, kind="stable")
+            return indices[order], dists[order]
+        return indices, dists
+
+    # ------------------------------------------------------------------
+    # Batch conveniences
+    # ------------------------------------------------------------------
+
+    def nn_batch(
+        self,
+        queries: np.ndarray,
+        stats: SearchStats | None = None,
+        trace: list[QueryTrace] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        indices = np.empty(len(queries), dtype=np.int64)
+        dists = np.empty(len(queries))
+        for i, query in enumerate(queries):
+            indices[i], dists[i] = self.nn(query, stats, trace)
+        return indices, dists
+
+    def radius_batch(
+        self,
+        queries: np.ndarray,
+        r: float,
+        stats: SearchStats | None = None,
+        sort: bool = False,
+        trace: list[QueryTrace] | None = None,
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        all_indices, all_dists = [], []
+        for query in queries:
+            indices, dists = self.radius(query, r, stats, sort=sort, trace=trace)
+            all_indices.append(indices)
+            all_dists.append(dists)
+        return all_indices, all_dists
+
+    def knn_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        stats: SearchStats | None = None,
+        trace: list[QueryTrace] | None = None,
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        all_indices, all_dists = [], []
+        for query in queries:
+            indices, dists = self.knn(query, k, stats, trace)
+            all_indices.append(indices)
+            all_dists.append(dists)
+        return all_indices, all_dists
+
+    # ------------------------------------------------------------------
+
+    def _account(
+        self,
+        record: QueryTrace,
+        stats: SearchStats | None,
+        trace: list[QueryTrace] | None,
+    ) -> None:
+        if stats is not None:
+            stats.nodes_visited += record.nodes_visited
+            stats.traversal_steps += record.toptree_visits + record.toptree_bypassed
+            stats.pruned_subtrees += record.toptree_bypassed + sum(
+                1 for v in record.leaf_visits if v.pruned
+            )
+            stats.leader_checks += record.leader_checks
+            stats.queries += 1
+            stats.results_returned += record.results
+        if trace is not None:
+            trace.append(record)

@@ -1,0 +1,17 @@
+"""Design-space exploration harness (paper Sec. 3.2, Fig. 3/4)."""
+
+from repro.dse.explorer import ExplorationReport, evaluate_config, explore
+from repro.dse.grid import SweepSpec, default_sweep, parameter_grid
+from repro.dse.pareto import DesignPointResult, is_dominated, pareto_frontier
+
+__all__ = [
+    "DesignPointResult",
+    "pareto_frontier",
+    "is_dominated",
+    "evaluate_config",
+    "explore",
+    "ExplorationReport",
+    "SweepSpec",
+    "parameter_grid",
+    "default_sweep",
+]

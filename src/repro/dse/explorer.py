@@ -1,0 +1,120 @@
+"""Design-space exploration driver (paper Sec. 3.2).
+
+Evaluates pipeline configurations over a synthetic sequence, measuring
+registration accuracy (KITTI-style errors against ground truth) and
+execution time, and produces the raw material for Fig. 3 (the
+accuracy/performance scatter + Pareto frontier) and Fig. 4 (the
+per-stage and KD-tree time distributions of the frontier points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dse.pareto import DesignPointResult, pareto_frontier
+from repro.geometry import metrics
+from repro.io.dataset import SyntheticSequence
+from repro.profiling.timer import StageProfiler
+from repro.registration.pipeline import Pipeline, PipelineConfig
+
+__all__ = ["evaluate_config", "explore", "ExplorationReport"]
+
+
+@dataclass
+class ExplorationReport:
+    """All evaluated points plus both Pareto frontiers (Fig. 3a/3b)."""
+
+    results: list[DesignPointResult]
+    translational_frontier: list[DesignPointResult] = field(default_factory=list)
+    rotational_frontier: list[DesignPointResult] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.translational_frontier:
+            self.translational_frontier = pareto_frontier(
+                self.results, "translational_error"
+            )
+        if not self.rotational_frontier:
+            self.rotational_frontier = pareto_frontier(
+                self.results, "rotational_error"
+            )
+
+    def summary(self) -> str:
+        lines = [
+            f"{'name':<16}{'time(s)':>9}{'trans err (%)':>15}{'rot err (deg/m)':>17}"
+        ]
+        for r in sorted(self.results, key=lambda r: r.time):
+            tag = ""
+            if r in self.translational_frontier:
+                tag += " T"
+            if r in self.rotational_frontier:
+                tag += " R"
+            lines.append(
+                f"{r.name:<16}{r.time:>9.3f}{100 * r.translational_error:>15.3f}"
+                f"{r.rotational_error:>17.4f}{tag}"
+            )
+        return "\n".join(lines)
+
+
+def evaluate_config(
+    name: str,
+    config: PipelineConfig,
+    sequence: SyntheticSequence,
+    max_pairs: int | None = None,
+) -> DesignPointResult:
+    """Run a configuration over consecutive pairs of a sequence.
+
+    Time is the mean wall-clock registration time per pair; errors are
+    the KITTI sequence errors of the chained estimated trajectory
+    against ground truth.  Per-pair stage profiles are merged and
+    attached in ``detail`` for the Fig. 4 analyses.
+    """
+    pipeline = Pipeline(config)
+    merged_profiler = StageProfiler()
+    relative_estimates: list[np.ndarray] = []
+    times: list[float] = []
+
+    pairs = list(sequence.pairs())
+    if max_pairs is not None:
+        pairs = pairs[:max_pairs]
+    if not pairs:
+        raise ValueError("sequence has fewer than two frames")
+
+    for source, target, _ in pairs:
+        profiler = StageProfiler()
+        result = pipeline.register(source, target, profiler=profiler)
+        relative_estimates.append(result.transformation)
+        times.append(profiler.total)
+        merged_profiler.merge(profiler)
+
+    n_poses = len(pairs) + 1
+    estimated = metrics.trajectory_from_relative(relative_estimates)
+    ground_truth = sequence.poses[:n_poses]
+    errors = metrics.kitti_sequence_errors(estimated, ground_truth)
+
+    return DesignPointResult(
+        name=name,
+        time=float(np.mean(times)),
+        translational_error=errors.translational,
+        rotational_error=errors.rotational,
+        detail={
+            "profiler": merged_profiler,
+            "stage_fractions": merged_profiler.stage_fractions(),
+            "kdtree_fractions": merged_profiler.kdtree_fractions(),
+            "errors": errors,
+        },
+    )
+
+
+def explore(
+    configs: dict[str, PipelineConfig],
+    sequence: SyntheticSequence,
+    max_pairs: int | None = None,
+) -> ExplorationReport:
+    """Evaluate every named configuration and extract the frontiers."""
+    results = [
+        evaluate_config(name, config, sequence, max_pairs=max_pairs)
+        for name, config in configs.items()
+    ]
+    return ExplorationReport(results=results)

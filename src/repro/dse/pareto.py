@@ -1,0 +1,72 @@
+"""Pareto-frontier extraction for the design-space exploration.
+
+The paper's Fig. 3 plots every explored design point in the
+(error, time) plane and annotates the Pareto-optimal frontier — the
+points not dominated by any other (lower error *and* lower time).  The
+bottleneck analysis (Fig. 4) then focuses on those frontier points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DesignPointResult", "pareto_frontier", "is_dominated"]
+
+
+@dataclass
+class DesignPointResult:
+    """One evaluated pipeline configuration.
+
+    ``time`` is the metric being traded against ``translational_error``
+    and ``rotational_error`` (seconds here; the paper normalizes to
+    1500 ms).  ``detail`` carries arbitrary extra measurements (stage
+    breakdowns, search stats) for downstream analysis.
+    """
+
+    name: str
+    time: float
+    translational_error: float
+    rotational_error: float
+    detail: dict = field(default_factory=dict)
+
+
+def is_dominated(
+    candidate: DesignPointResult,
+    others: list[DesignPointResult],
+    error_attr: str = "translational_error",
+) -> bool:
+    """True if some other point is no worse on both axes and better on one."""
+    c_err = getattr(candidate, error_attr)
+    for other in others:
+        if other is candidate:
+            continue
+        o_err = getattr(other, error_attr)
+        if (
+            o_err <= c_err
+            and other.time <= candidate.time
+            and (o_err < c_err or other.time < candidate.time)
+        ):
+            return True
+    return False
+
+
+def pareto_frontier(
+    results: list[DesignPointResult],
+    error_attr: str = "translational_error",
+) -> list[DesignPointResult]:
+    """The non-dominated subset, sorted by ascending time.
+
+    ``error_attr`` selects the accuracy axis — ``"translational_error"``
+    for Fig. 3a, ``"rotational_error"`` for Fig. 3b; the two frontiers
+    generally differ, as the paper's distinct DP sets in the two panels
+    show.
+    """
+    if not results:
+        return []
+    for result in results:
+        if not np.isfinite(result.time) or result.time < 0:
+            raise ValueError(f"invalid time for {result.name!r}: {result.time}")
+    frontier = [r for r in results if not is_dominated(r, results, error_attr)]
+    return sorted(frontier, key=lambda r: r.time)

@@ -1,0 +1,6 @@
+"""Geometric substrate: SE(3) transforms, error metrics, bounding boxes."""
+
+from repro.geometry import metrics, se3
+from repro.geometry.boundingbox import AABB
+
+__all__ = ["se3", "metrics", "AABB"]

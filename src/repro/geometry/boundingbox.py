@@ -1,0 +1,76 @@
+"""Axis-aligned bounding boxes in k dimensions.
+
+KD-tree pruning (paper Sec. 4.1) relies on the distance between a query
+hypersphere and the bounding box of a subtree: if the box does not
+intersect the sphere around the query with the current best distance, the
+entire subtree is skipped.  ``AABB`` provides exactly that primitive, plus
+the split operation used during tree construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AABB"]
+
+
+@dataclass(frozen=True)
+class AABB:
+    """An axis-aligned bounding box defined by ``lo`` and ``hi`` corners."""
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    @staticmethod
+    def of_points(points: np.ndarray) -> "AABB":
+        """Tight bounding box of an (N, k) point array."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or len(points) == 0:
+            raise ValueError("need a non-empty (N, k) array")
+        return AABB(points.min(axis=0), points.max(axis=0))
+
+    @staticmethod
+    def infinite(ndim: int) -> "AABB":
+        """The whole space; the root node's region before any splits."""
+        return AABB(
+            np.full(ndim, -np.inf, dtype=np.float64),
+            np.full(ndim, np.inf, dtype=np.float64),
+        )
+
+    @property
+    def ndim(self) -> int:
+        return len(self.lo)
+
+    def contains(self, point: np.ndarray) -> bool:
+        """Whether ``point`` lies inside the box (inclusive)."""
+        point = np.asarray(point, dtype=np.float64)
+        return bool(np.all(point >= self.lo) and np.all(point <= self.hi))
+
+    def split(self, dim: int, value: float) -> tuple["AABB", "AABB"]:
+        """Split along ``dim`` at ``value`` into (left/below, right/above)."""
+        left_hi = self.hi.copy()
+        left_hi[dim] = value
+        right_lo = self.lo.copy()
+        right_lo[dim] = value
+        return AABB(self.lo.copy(), left_hi), AABB(right_lo, self.hi.copy())
+
+    def sq_distance_to(self, point: np.ndarray) -> float:
+        """Squared distance from ``point`` to the nearest point of the box.
+
+        Zero when the point is inside.  This is the pruning test: a subtree
+        whose box satisfies ``sq_distance_to(q) > best_dist**2`` cannot
+        contain a closer neighbor than the current best.
+        """
+        point = np.asarray(point, dtype=np.float64)
+        below = np.clip(self.lo - point, 0.0, None)
+        above = np.clip(point - self.hi, 0.0, None)
+        # Infinite bounds clip to 0 only when finite; guard the inf - inf case.
+        below = np.where(np.isfinite(below), below, 0.0)
+        above = np.where(np.isfinite(above), above, 0.0)
+        return float(np.sum(below**2) + np.sum(above**2))
+
+    def intersects_sphere(self, center: np.ndarray, radius: float) -> bool:
+        """Whether a hypersphere intersects the box."""
+        return self.sq_distance_to(center) <= radius * radius

@@ -1,0 +1,191 @@
+"""Registration accuracy metrics.
+
+The paper reports accuracy with the standard KITTI odometry benchmark
+metrics (Geiger et al., CVPR 2012): **translational error** in percent of
+distance travelled and **rotational error** in degrees per meter, averaged
+over subsequences of fixed path lengths.  This module implements those
+metrics over pose sequences, plus simpler per-pair errors used by the unit
+tests and the error-injection study (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry import se3
+
+__all__ = [
+    "pair_errors",
+    "trajectory_from_relative",
+    "relative_from_trajectory",
+    "trajectory_distances",
+    "SequenceErrors",
+    "kitti_sequence_errors",
+    "rmse",
+    "fitness",
+]
+
+# Subsequence lengths (meters) prescribed by the KITTI odometry devkit.
+KITTI_LENGTHS = (100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0)
+
+
+def pair_errors(
+    estimated: np.ndarray, ground_truth: np.ndarray
+) -> tuple[float, float]:
+    """Per-pair error: (rotation error in degrees, translation error in m).
+
+    The error transform is ``gt^-1 @ est``; its rotation angle and
+    translation norm quantify how far the estimate is from the truth.
+    """
+    rot_err, trans_err = se3.transform_distance(ground_truth, estimated)
+    return float(np.degrees(rot_err)), trans_err
+
+
+def trajectory_from_relative(relative_poses: list[np.ndarray]) -> list[np.ndarray]:
+    """Chain frame-to-frame relative transforms into absolute poses.
+
+    ``relative_poses[i]`` maps frame ``i+1`` coordinates into frame ``i``.
+    The returned trajectory starts at the identity (frame 0 pose).
+    """
+    trajectory = [se3.identity()]
+    for relative in relative_poses:
+        trajectory.append(se3.compose(trajectory[-1], relative))
+    return trajectory
+
+
+def relative_from_trajectory(trajectory: list[np.ndarray]) -> list[np.ndarray]:
+    """Invert :func:`trajectory_from_relative`."""
+    return [
+        se3.compose(se3.invert(trajectory[i]), trajectory[i + 1])
+        for i in range(len(trajectory) - 1)
+    ]
+
+
+def trajectory_distances(trajectory: list[np.ndarray]) -> np.ndarray:
+    """Cumulative path length at each pose of a trajectory."""
+    distances = np.zeros(len(trajectory))
+    for i in range(1, len(trajectory)):
+        step = se3.translation_part(trajectory[i]) - se3.translation_part(
+            trajectory[i - 1]
+        )
+        distances[i] = distances[i - 1] + np.linalg.norm(step)
+    return distances
+
+
+@dataclass
+class SequenceErrors:
+    """KITTI-style sequence error summary.
+
+    ``translational`` is a fraction (multiply by 100 for the paper's
+    percent axis); ``rotational`` is in degrees per meter.  ``samples``
+    holds the per-subsequence raw values for computing error bars, as the
+    paper does in Fig. 7.
+    """
+
+    translational: float
+    rotational: float
+    samples: list[tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def translational_percent(self) -> float:
+        return 100.0 * self.translational
+
+    def translational_std_percent(self) -> float:
+        """Standard deviation of the per-subsequence translational error."""
+        if not self.samples:
+            return 0.0
+        return 100.0 * float(np.std([t for t, _ in self.samples]))
+
+
+def kitti_sequence_errors(
+    estimated_trajectory: list[np.ndarray],
+    ground_truth_trajectory: list[np.ndarray],
+    lengths: tuple[float, ...] = KITTI_LENGTHS,
+    step: int = 1,
+) -> SequenceErrors:
+    """Compute KITTI odometry errors between two pose trajectories.
+
+    For every starting frame (subsampled by ``step``) and every subsequence
+    length, find the frame that ends the subsequence, compute the relative
+    pose error between ground truth and estimate over that span, and
+    normalize by span length.  Returns averages over all (start, length)
+    samples.  If the trajectory is shorter than the smallest KITTI length,
+    the lengths are scaled down so short synthetic sequences still produce
+    a meaningful, comparable score.
+    """
+    if len(estimated_trajectory) != len(ground_truth_trajectory):
+        raise ValueError("trajectory lengths differ")
+    if len(estimated_trajectory) < 2:
+        raise ValueError("need at least two poses")
+
+    distances = trajectory_distances(ground_truth_trajectory)
+    total = distances[-1]
+    usable = [length for length in lengths if length <= total]
+    if not usable:
+        # Scale the ladder to the available path so short sequences work.
+        usable = [total * f for f in (0.25, 0.5, 0.75, 1.0) if total * f > 0]
+    if not usable:
+        raise ValueError("degenerate trajectory with zero path length")
+
+    samples: list[tuple[float, float]] = []
+    for start in range(0, len(ground_truth_trajectory), step):
+        for length in usable:
+            end = _frame_at_distance(distances, start, length)
+            if end < 0:
+                continue
+            gt_rel = se3.compose(
+                se3.invert(ground_truth_trajectory[start]),
+                ground_truth_trajectory[end],
+            )
+            est_rel = se3.compose(
+                se3.invert(estimated_trajectory[start]), estimated_trajectory[end]
+            )
+            error = se3.compose(se3.invert(est_rel), gt_rel)
+            span = distances[end] - distances[start]
+            if span <= 0:
+                continue
+            trans_err = float(np.linalg.norm(se3.translation_part(error))) / span
+            rot_err = float(
+                np.degrees(se3.rotation_angle(se3.rotation_part(error)))
+            ) / span
+            samples.append((trans_err, rot_err))
+
+    if not samples:
+        raise ValueError("no valid subsequences found")
+    translational = float(np.mean([t for t, _ in samples]))
+    rotational = float(np.mean([r for _, r in samples]))
+    return SequenceErrors(translational, rotational, samples)
+
+
+def _frame_at_distance(distances: np.ndarray, start: int, length: float) -> int:
+    """First frame index whose distance from ``start`` is >= ``length``."""
+    target = distances[start] + length
+    idx = int(np.searchsorted(distances, target))
+    return idx if idx < len(distances) else -1
+
+
+def rmse(source: np.ndarray, target: np.ndarray) -> float:
+    """Root-mean-square distance between matched point arrays."""
+    source = np.asarray(source, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if source.shape != target.shape:
+        raise ValueError("matched arrays must have equal shapes")
+    if source.size == 0:
+        return 0.0
+    return float(np.sqrt(np.mean(np.sum((source - target) ** 2, axis=1))))
+
+
+def fitness(
+    source: np.ndarray, target: np.ndarray, inlier_threshold: float
+) -> float:
+    """Fraction of matched pairs closer than ``inlier_threshold``."""
+    source = np.asarray(source, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if source.shape != target.shape:
+        raise ValueError("matched arrays must have equal shapes")
+    if len(source) == 0:
+        return 0.0
+    dists = np.linalg.norm(source - target, axis=1)
+    return float(np.mean(dists < inlier_threshold))

@@ -1,0 +1,320 @@
+"""Rigid-body transformations in SE(3).
+
+Point cloud registration estimates a 4x4 homogeneous transformation matrix
+``M = [[R, t], [0, 1]]`` (paper Eq. 1) consisting of a 3x3 rotation ``R``
+and a 3x1 translation ``t``, covering all six degrees of freedom.  This
+module provides the construction, composition, inversion, and application
+utilities the registration pipeline builds on, plus conversions between
+rotation parameterizations (matrix, axis-angle, Euler, quaternion) used by
+the solvers and by the synthetic trajectory generator.
+
+All functions accept and return ``numpy`` arrays with ``float64`` dtype and
+never mutate their inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "identity",
+    "make_transform",
+    "rotation_part",
+    "translation_part",
+    "apply_transform",
+    "compose",
+    "invert",
+    "is_valid_rotation",
+    "is_valid_transform",
+    "orthonormalize_rotation",
+    "rot_x",
+    "rot_y",
+    "rot_z",
+    "euler_to_rotation",
+    "rotation_to_euler",
+    "axis_angle_to_rotation",
+    "rotation_to_axis_angle",
+    "rotation_angle",
+    "quaternion_to_rotation",
+    "rotation_to_quaternion",
+    "random_rotation",
+    "random_transform",
+    "small_transform",
+    "transform_distance",
+]
+
+
+def identity() -> np.ndarray:
+    """Return the 4x4 identity transformation."""
+    return np.eye(4, dtype=np.float64)
+
+
+def make_transform(rotation: np.ndarray, translation: np.ndarray) -> np.ndarray:
+    """Assemble a 4x4 homogeneous transform from ``R`` (3x3) and ``t`` (3,).
+
+    This is the matrix ``M`` of paper Eq. 1: ``X' = M @ X`` for homogeneous
+    points ``X``.
+    """
+    rotation = np.asarray(rotation, dtype=np.float64)
+    translation = np.asarray(translation, dtype=np.float64).reshape(3)
+    if rotation.shape != (3, 3):
+        raise ValueError(f"rotation must be 3x3, got {rotation.shape}")
+    transform = np.eye(4, dtype=np.float64)
+    transform[:3, :3] = rotation
+    transform[:3, 3] = translation
+    return transform
+
+
+def rotation_part(transform: np.ndarray) -> np.ndarray:
+    """Extract the 3x3 rotation block of a 4x4 transform."""
+    return np.asarray(transform, dtype=np.float64)[:3, :3].copy()
+
+
+def translation_part(transform: np.ndarray) -> np.ndarray:
+    """Extract the translation vector of a 4x4 transform."""
+    return np.asarray(transform, dtype=np.float64)[:3, 3].copy()
+
+
+def apply_transform(transform: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Apply a 4x4 transform to an (N, 3) array of points.
+
+    Implements ``X' = R X + t`` for every point, i.e. paper Eq. 1 without
+    materializing homogeneous coordinates.
+    """
+    transform = np.asarray(transform, dtype=np.float64)
+    points = np.asarray(points, dtype=np.float64)
+    single = points.ndim == 1
+    points_2d = np.atleast_2d(points)
+    if points_2d.shape[1] != 3:
+        raise ValueError(f"points must be (N, 3), got {points.shape}")
+    transformed = points_2d @ transform[:3, :3].T + transform[:3, 3]
+    return transformed[0] if single else transformed
+
+
+def compose(*transforms: np.ndarray) -> np.ndarray:
+    """Compose transforms left-to-right: ``compose(A, B)`` applies B first.
+
+    ``apply(compose(A, B), x) == apply(A, apply(B, x))``.
+    """
+    if not transforms:
+        return identity()
+    result = np.asarray(transforms[0], dtype=np.float64)
+    for transform in transforms[1:]:
+        result = result @ np.asarray(transform, dtype=np.float64)
+    return result
+
+
+def invert(transform: np.ndarray) -> np.ndarray:
+    """Invert a rigid transform analytically: ``inv = [R.T, -R.T t]``."""
+    rotation = rotation_part(transform)
+    translation = translation_part(transform)
+    return make_transform(rotation.T, -rotation.T @ translation)
+
+
+def is_valid_rotation(rotation: np.ndarray, atol: float = 1e-6) -> bool:
+    """Check that a 3x3 matrix is a proper rotation (orthogonal, det +1)."""
+    rotation = np.asarray(rotation, dtype=np.float64)
+    if rotation.shape != (3, 3):
+        return False
+    if not np.allclose(rotation @ rotation.T, np.eye(3), atol=atol):
+        return False
+    return bool(np.isclose(np.linalg.det(rotation), 1.0, atol=atol))
+
+
+def is_valid_transform(transform: np.ndarray, atol: float = 1e-6) -> bool:
+    """Check that a 4x4 matrix is a rigid transform."""
+    transform = np.asarray(transform, dtype=np.float64)
+    if transform.shape != (4, 4):
+        return False
+    if not np.allclose(transform[3], [0.0, 0.0, 0.0, 1.0], atol=atol):
+        return False
+    return is_valid_rotation(transform[:3, :3], atol=atol)
+
+
+def orthonormalize_rotation(rotation: np.ndarray) -> np.ndarray:
+    """Project a near-rotation matrix onto SO(3) via SVD.
+
+    Used to clean up accumulated floating-point drift when chaining many
+    incremental ICP updates.
+    """
+    u, _, vt = np.linalg.svd(np.asarray(rotation, dtype=np.float64))
+    rotation_clean = u @ vt
+    if np.linalg.det(rotation_clean) < 0:
+        u[:, -1] = -u[:, -1]
+        rotation_clean = u @ vt
+    return rotation_clean
+
+
+def rot_x(angle: float) -> np.ndarray:
+    """Rotation about the x axis by ``angle`` radians."""
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[1, 0, 0], [0, c, -s], [0, s, c]], dtype=np.float64)
+
+
+def rot_y(angle: float) -> np.ndarray:
+    """Rotation about the y axis by ``angle`` radians."""
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[c, 0, s], [0, 1, 0], [-s, 0, c]], dtype=np.float64)
+
+
+def rot_z(angle: float) -> np.ndarray:
+    """Rotation about the z axis by ``angle`` radians."""
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[c, -s, 0], [s, c, 0], [0, 0, 1]], dtype=np.float64)
+
+
+def euler_to_rotation(roll: float, pitch: float, yaw: float) -> np.ndarray:
+    """Build a rotation from ZYX (yaw-pitch-roll) Euler angles in radians."""
+    return rot_z(yaw) @ rot_y(pitch) @ rot_x(roll)
+
+
+def rotation_to_euler(rotation: np.ndarray) -> tuple[float, float, float]:
+    """Recover (roll, pitch, yaw) from a ZYX Euler rotation matrix.
+
+    Falls back to ``yaw = 0`` in the gimbal-lock case (|pitch| = pi/2).
+    """
+    rotation = np.asarray(rotation, dtype=np.float64)
+    pitch = np.arcsin(np.clip(-rotation[2, 0], -1.0, 1.0))
+    if np.isclose(np.abs(rotation[2, 0]), 1.0, atol=1e-9):
+        yaw = 0.0
+        roll = np.arctan2(-rotation[0, 1], rotation[1, 1])
+    else:
+        roll = np.arctan2(rotation[2, 1], rotation[2, 2])
+        yaw = np.arctan2(rotation[1, 0], rotation[0, 0])
+    return float(roll), float(pitch), float(yaw)
+
+
+def axis_angle_to_rotation(axis: np.ndarray, angle: float) -> np.ndarray:
+    """Rodrigues' formula: rotation by ``angle`` radians about ``axis``."""
+    axis = np.asarray(axis, dtype=np.float64).reshape(3)
+    norm = np.linalg.norm(axis)
+    if norm < 1e-12:
+        return np.eye(3, dtype=np.float64)
+    axis = axis / norm
+    k = np.array(
+        [
+            [0.0, -axis[2], axis[1]],
+            [axis[2], 0.0, -axis[0]],
+            [-axis[1], axis[0], 0.0],
+        ],
+        dtype=np.float64,
+    )
+    return np.eye(3) + np.sin(angle) * k + (1.0 - np.cos(angle)) * (k @ k)
+
+
+def rotation_to_axis_angle(rotation: np.ndarray) -> tuple[np.ndarray, float]:
+    """Recover (unit axis, angle in [0, pi]) from a rotation matrix."""
+    rotation = np.asarray(rotation, dtype=np.float64)
+    angle = rotation_angle(rotation)
+    if angle < 1e-12:
+        return np.array([1.0, 0.0, 0.0]), 0.0
+    if np.isclose(angle, np.pi, atol=1e-7):
+        # Near pi the off-diagonal extraction is ill-conditioned; take the
+        # dominant column of (R + I) / 2, whose columns are axis * axis_i.
+        m = (rotation + np.eye(3)) / 2.0
+        axis = np.sqrt(np.clip(np.diag(m), 0.0, None))
+        major = int(np.argmax(axis))
+        if axis[major] > 1e-12:
+            axis = m[:, major] / axis[major]
+        norm = np.linalg.norm(axis)
+        return (axis / norm if norm > 0 else np.array([1.0, 0.0, 0.0])), float(angle)
+    vec = np.array(
+        [
+            rotation[2, 1] - rotation[1, 2],
+            rotation[0, 2] - rotation[2, 0],
+            rotation[1, 0] - rotation[0, 1],
+        ]
+    )
+    return vec / (2.0 * np.sin(angle)), float(angle)
+
+
+def rotation_angle(rotation: np.ndarray) -> float:
+    """Geodesic angle of a rotation matrix, in radians, in [0, pi].
+
+    This is the rotational-error measure used by the KITTI odometry
+    benchmark (and hence the paper's rotational error metric).
+    """
+    rotation = np.asarray(rotation, dtype=np.float64)
+    trace = np.clip((np.trace(rotation) - 1.0) / 2.0, -1.0, 1.0)
+    return float(np.arccos(trace))
+
+
+def quaternion_to_rotation(quaternion: np.ndarray) -> np.ndarray:
+    """Convert a (w, x, y, z) quaternion to a rotation matrix."""
+    q = np.asarray(quaternion, dtype=np.float64).reshape(4)
+    norm = np.linalg.norm(q)
+    if norm < 1e-12:
+        raise ValueError("zero-norm quaternion")
+    w, x, y, z = q / norm
+    return np.array(
+        [
+            [1 - 2 * (y * y + z * z), 2 * (x * y - w * z), 2 * (x * z + w * y)],
+            [2 * (x * y + w * z), 1 - 2 * (x * x + z * z), 2 * (y * z - w * x)],
+            [2 * (x * z - w * y), 2 * (y * z + w * x), 1 - 2 * (x * x + y * y)],
+        ],
+        dtype=np.float64,
+    )
+
+
+def rotation_to_quaternion(rotation: np.ndarray) -> np.ndarray:
+    """Convert a rotation matrix to a unit (w, x, y, z) quaternion, w >= 0."""
+    rotation = np.asarray(rotation, dtype=np.float64)
+    trace = np.trace(rotation)
+    if trace > 0:
+        s = np.sqrt(trace + 1.0) * 2.0
+        quaternion = np.array(
+            [
+                0.25 * s,
+                (rotation[2, 1] - rotation[1, 2]) / s,
+                (rotation[0, 2] - rotation[2, 0]) / s,
+                (rotation[1, 0] - rotation[0, 1]) / s,
+            ]
+        )
+    else:
+        i = int(np.argmax(np.diag(rotation)))
+        j, k = (i + 1) % 3, (i + 2) % 3
+        s = np.sqrt(max(rotation[i, i] - rotation[j, j] - rotation[k, k] + 1.0, 0.0)) * 2.0
+        quaternion = np.empty(4)
+        quaternion[0] = (rotation[k, j] - rotation[j, k]) / s
+        quaternion[1 + i] = 0.25 * s
+        quaternion[1 + j] = (rotation[j, i] + rotation[i, j]) / s
+        quaternion[1 + k] = (rotation[k, i] + rotation[i, k]) / s
+    quaternion = quaternion / np.linalg.norm(quaternion)
+    if quaternion[0] < 0:
+        quaternion = -quaternion
+    return quaternion
+
+
+def random_rotation(rng: np.random.Generator) -> np.ndarray:
+    """Draw a rotation uniformly from SO(3) (via a random unit quaternion)."""
+    quaternion = rng.normal(size=4)
+    return quaternion_to_rotation(quaternion)
+
+
+def random_transform(
+    rng: np.random.Generator, max_translation: float = 1.0
+) -> np.ndarray:
+    """Draw a random rigid transform with bounded translation magnitude."""
+    translation = rng.uniform(-max_translation, max_translation, size=3)
+    return make_transform(random_rotation(rng), translation)
+
+
+def small_transform(
+    rng: np.random.Generator,
+    max_angle: float = 0.05,
+    max_translation: float = 0.1,
+) -> np.ndarray:
+    """Draw a small perturbation transform, useful as an ICP initial guess."""
+    axis = rng.normal(size=3)
+    angle = rng.uniform(-max_angle, max_angle)
+    translation = rng.uniform(-max_translation, max_translation, size=3)
+    return make_transform(axis_angle_to_rotation(axis, angle), translation)
+
+
+def transform_distance(a: np.ndarray, b: np.ndarray) -> tuple[float, float]:
+    """Return (rotation angle in radians, translation distance) between two
+    transforms, i.e. the magnitude of ``a^-1 @ b``."""
+    delta = compose(invert(a), b)
+    return rotation_angle(rotation_part(delta)), float(
+        np.linalg.norm(translation_part(delta))
+    )

@@ -1,0 +1,47 @@
+"""Point cloud data substrate: containers, file I/O, synthetic LiDAR."""
+
+from repro.io.dataset import SyntheticSequence, default_test_model, make_sequence
+from repro.io.kitti import read_kitti_poses, write_kitti_poses
+from repro.io.pcd import read_pcd, write_pcd
+from repro.io.pointcloud import PointCloud
+from repro.io.synthetic import (
+    Box,
+    Cylinder,
+    LidarModel,
+    Plane,
+    RotatedBox,
+    Scene,
+    Sphere,
+    curved_trajectory,
+    highway_scene,
+    intersection_scene,
+    room_scene,
+    scan,
+    straight_trajectory,
+    urban_scene,
+)
+
+__all__ = [
+    "PointCloud",
+    "read_pcd",
+    "write_pcd",
+    "read_kitti_poses",
+    "write_kitti_poses",
+    "SyntheticSequence",
+    "make_sequence",
+    "default_test_model",
+    "Scene",
+    "Plane",
+    "Box",
+    "Cylinder",
+    "RotatedBox",
+    "Sphere",
+    "LidarModel",
+    "scan",
+    "urban_scene",
+    "highway_scene",
+    "intersection_scene",
+    "room_scene",
+    "straight_trajectory",
+    "curved_trajectory",
+]

@@ -1,0 +1,56 @@
+"""KITTI odometry pose-file I/O.
+
+The KITTI odometry benchmark (the paper's dataset) stores ground-truth
+trajectories as text files with one pose per line: the first three rows
+of the 4x4 transform, flattened row-major into 12 values.  These
+helpers read/write that format so trajectories estimated here can be
+compared against real KITTI ground truth (or exported for the official
+devkit) when the dataset is available.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.geometry import se3
+
+__all__ = ["read_kitti_poses", "write_kitti_poses"]
+
+
+def write_kitti_poses(path: str | os.PathLike, poses: list[np.ndarray]) -> None:
+    """Write a trajectory in KITTI's 12-value-per-line format."""
+    with open(path, "w", encoding="ascii") as f:
+        for pose in poses:
+            pose = np.asarray(pose, dtype=np.float64)
+            if pose.shape != (4, 4):
+                raise ValueError(f"pose must be 4x4, got {pose.shape}")
+            values = pose[:3, :].reshape(-1)
+            f.write(" ".join(f"{v:.9e}" for v in values) + "\n")
+
+
+def read_kitti_poses(path: str | os.PathLike) -> list[np.ndarray]:
+    """Read a KITTI pose file into a list of 4x4 transforms.
+
+    Every pose is validated to be rigid (within float tolerance); a
+    malformed line raises with its line number.
+    """
+    poses: list[np.ndarray] = []
+    with open(path, "r", encoding="ascii") as f:
+        for line_number, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            values = line.split()
+            if len(values) != 12:
+                raise ValueError(
+                    f"line {line_number}: expected 12 values, got {len(values)}"
+                )
+            matrix = np.array([float(v) for v in values]).reshape(3, 4)
+            pose = np.eye(4)
+            pose[:3, :] = matrix
+            if not se3.is_valid_transform(pose, atol=1e-4):
+                raise ValueError(f"line {line_number}: not a rigid transform")
+            poses.append(pose)
+    return poses

@@ -1,0 +1,7 @@
+"""Canonical KD-tree substrate: build, search, brute-force reference."""
+
+from repro.kdtree import bruteforce
+from repro.kdtree.stats import SearchStats
+from repro.kdtree.tree import KDTree
+
+__all__ = ["KDTree", "SearchStats", "bruteforce"]

@@ -1,0 +1,97 @@
+"""Brute-force neighbor search.
+
+The exhaustive reference against which every tree search is validated,
+and the primitive the two-stage KD-tree's back-end performs on leaf sets
+(paper Sec. 4.1: "the two-stage KD-tree enables exhaustive searches in
+certain sub-trees").  All functions are fully vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["nn", "knn", "radius", "nn_batch", "pairwise_sq_distances"]
+
+
+def _as_2d(points: np.ndarray) -> np.ndarray:
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError(f"expected (N, k) array, got shape {points.shape}")
+    return points
+
+
+def pairwise_sq_distances(queries: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Squared distances, shape (n_queries, n_points)."""
+    queries = _as_2d(np.atleast_2d(queries))
+    points = _as_2d(points)
+    diff = queries[:, None, :] - points[None, :, :]
+    return np.sum(diff * diff, axis=2)
+
+
+def nn(points: np.ndarray, query: np.ndarray) -> tuple[int, float]:
+    """Index and distance of the nearest point to ``query``."""
+    points = _as_2d(points)
+    if len(points) == 0:
+        raise ValueError("cannot search an empty point set")
+    diff = points - np.asarray(query, dtype=np.float64)
+    sq = np.sum(diff * diff, axis=1)
+    best = int(np.argmin(sq))
+    return best, float(np.sqrt(sq[best]))
+
+
+def knn(points: np.ndarray, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Indices and distances of the ``k`` nearest points, sorted ascending."""
+    points = _as_2d(points)
+    if k <= 0:
+        raise ValueError("k must be positive")
+    k = min(k, len(points))
+    if k == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0)
+    diff = points - np.asarray(query, dtype=np.float64)
+    sq = np.sum(diff * diff, axis=1)
+    if k < len(points):
+        candidates = np.argpartition(sq, k - 1)[:k]
+    else:
+        candidates = np.arange(len(points))
+    order = candidates[np.argsort(sq[candidates], kind="stable")]
+    return order.astype(np.int64), np.sqrt(sq[order])
+
+
+def radius(
+    points: np.ndarray, query: np.ndarray, r: float, sort: bool = False
+) -> tuple[np.ndarray, np.ndarray]:
+    """Indices and distances of all points within ``r`` of ``query``."""
+    points = _as_2d(points)
+    if r < 0:
+        raise ValueError("radius must be non-negative")
+    diff = points - np.asarray(query, dtype=np.float64)
+    sq = np.sum(diff * diff, axis=1)
+    mask = sq <= r * r
+    indices = np.nonzero(mask)[0].astype(np.int64)
+    dists = np.sqrt(sq[mask])
+    if sort:
+        order = np.argsort(dists, kind="stable")
+        return indices[order], dists[order]
+    return indices, dists
+
+
+def nn_batch(points: np.ndarray, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized nearest neighbor for every row of ``queries``.
+
+    Processes queries in chunks to bound the (chunk x n_points) distance
+    matrix memory.
+    """
+    points = _as_2d(points)
+    queries = _as_2d(np.atleast_2d(queries))
+    if len(points) == 0:
+        raise ValueError("cannot search an empty point set")
+    indices = np.empty(len(queries), dtype=np.int64)
+    dists = np.empty(len(queries))
+    chunk = max(1, int(4e6 // max(len(points), 1)))
+    for start in range(0, len(queries), chunk):
+        stop = min(start + chunk, len(queries))
+        sq = pairwise_sq_distances(queries[start:stop], points)
+        best = np.argmin(sq, axis=1)
+        indices[start:stop] = best
+        dists[start:stop] = np.sqrt(sq[np.arange(stop - start), best])
+    return indices, dists

@@ -1,0 +1,81 @@
+"""Search-work instrumentation.
+
+Fig. 4b, Fig. 6 and the whole accelerator evaluation hinge on counting
+how much work a search performs.  ``SearchStats`` is the single source of
+truth: every search entry point accepts an optional stats accumulator and
+charges node visits to it.  A "node visit" is a distance computation
+against a stored point — the unit the paper plots in Fig. 6b and the unit
+the accelerator's processing elements execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SearchStats"]
+
+
+@dataclass
+class SearchStats:
+    """Accumulated work counters across one or more search queries.
+
+    ``nodes_visited``
+        Distance computations against tree-node points (canonical tree)
+        plus leaf-set points scanned exhaustively (two-stage tree).  This
+        is the paper's Fig. 6 "number of nodes visited".
+    ``traversal_steps``
+        Tree-edge traversals (stack pops), a proxy for the sequential
+        recursion work the accelerator front-end performs.
+    ``pruned_subtrees``
+        Subtrees skipped by the bounding-distance test.
+    ``leader_checks``
+        Distance computations against leaders in the approximate search.
+    ``queries`` / ``results_returned``
+        Bookkeeping for averaging.
+    """
+
+    nodes_visited: int = 0
+    traversal_steps: int = 0
+    pruned_subtrees: int = 0
+    leader_checks: int = 0
+    queries: int = 0
+    results_returned: int = 0
+
+    def merge(self, other: "SearchStats") -> None:
+        """Fold another accumulator into this one."""
+        self.nodes_visited += other.nodes_visited
+        self.traversal_steps += other.traversal_steps
+        self.pruned_subtrees += other.pruned_subtrees
+        self.leader_checks += other.leader_checks
+        self.queries += other.queries
+        self.results_returned += other.results_returned
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.nodes_visited = 0
+        self.traversal_steps = 0
+        self.pruned_subtrees = 0
+        self.leader_checks = 0
+        self.queries = 0
+        self.results_returned = 0
+
+    @property
+    def nodes_per_query(self) -> float:
+        """Average nodes visited per query (0 when no queries ran)."""
+        if self.queries == 0:
+            return 0.0
+        return self.nodes_visited / self.queries
+
+    @property
+    def total_work(self) -> int:
+        """All distance computations: node visits plus leader checks."""
+        return self.nodes_visited + self.leader_checks
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchStats(queries={self.queries}, "
+            f"nodes_visited={self.nodes_visited}, "
+            f"traversal_steps={self.traversal_steps}, "
+            f"pruned_subtrees={self.pruned_subtrees}, "
+            f"leader_checks={self.leader_checks})"
+        )

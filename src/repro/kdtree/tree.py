@@ -1,0 +1,402 @@
+"""Canonical KD-tree (paper Sec. 4.1, Fig. 5a).
+
+The classic Bentley KD-tree: every node stores one k-dimensional point
+whose coordinate along the node's split dimension implicitly defines a
+splitting hyperplane; the median point is chosen so the tree is balanced.
+Search recursively traverses the tree, pruning any subtree whose region
+cannot intersect the query's current hypersphere — the pruning that makes
+the search efficient but *inherently sequential*, which is the problem
+the two-stage structure in :mod:`repro.core` exists to solve.
+
+The implementation is array-backed (flat numpy arrays indexed by node id)
+with iterative explicit-stack traversal, and instrumented: every search
+accepts an optional :class:`~repro.kdtree.stats.SearchStats` accumulator.
+Pruning uses the incremental per-axis bound (as in FLANN/scipy) so node
+visit counts are representative of a production implementation.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.kdtree.stats import SearchStats
+
+__all__ = ["KDTree"]
+
+_SPLIT_RULES = ("widest", "cyclic")
+
+
+class KDTree:
+    """A balanced, point-per-node KD-tree over an (N, k) point array.
+
+    Parameters
+    ----------
+    points:
+        The data points.  A defensive copy is stored.
+    split_rule:
+        ``"widest"`` splits on the dimension of largest spread (FLANN's
+        default, better for anisotropic LiDAR data); ``"cyclic"`` cycles
+        dimensions by depth (Bentley's original rule).
+    """
+
+    def __init__(self, points: np.ndarray, split_rule: str = "widest"):
+        points = np.array(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError(f"points must be (N, k), got shape {points.shape}")
+        if len(points) == 0:
+            raise ValueError("cannot build a KD-tree over zero points")
+        if not np.all(np.isfinite(points)):
+            raise ValueError("points contain NaN or infinity")
+        if split_rule not in _SPLIT_RULES:
+            raise ValueError(f"split_rule must be one of {_SPLIT_RULES}")
+        self._points = points
+        self._split_rule = split_rule
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        n, ndim = self._points.shape
+        point_index = np.empty(n, dtype=np.int64)
+        split_dim = np.zeros(n, dtype=np.int64)
+        left = np.full(n, -1, dtype=np.int64)
+        right = np.full(n, -1, dtype=np.int64)
+        depth = np.zeros(n, dtype=np.int64)
+
+        next_node = 0
+        # Tasks: (member indices, depth, parent node id, is_left_child).
+        tasks: list[tuple[np.ndarray, int, int, bool]] = [
+            (np.arange(n, dtype=np.int64), 0, -1, False)
+        ]
+        while tasks:
+            indices, node_depth, parent, is_left = tasks.pop()
+            dim = self._choose_dim(indices, node_depth, ndim)
+            values = self._points[indices, dim]
+            mid = (len(indices) - 1) // 2
+            if len(indices) == 1:
+                order = np.array([0], dtype=np.int64)
+            else:
+                order = np.argpartition(values, mid)
+            node = next_node
+            next_node += 1
+            point_index[node] = indices[order[mid]]
+            split_dim[node] = dim
+            depth[node] = node_depth
+            if parent >= 0:
+                if is_left:
+                    left[parent] = node
+                else:
+                    right[parent] = node
+            left_members = indices[order[:mid]]
+            right_members = indices[order[mid + 1 :]]
+            if len(left_members):
+                tasks.append((left_members, node_depth + 1, node, True))
+            if len(right_members):
+                tasks.append((right_members, node_depth + 1, node, False))
+
+        self._point_index = point_index
+        self._split_dim = split_dim
+        self._left = left
+        self._right = right
+        self._depth = depth
+        # Cache split values: each node splits at its own point's coordinate.
+        self._split_value = self._points[point_index, split_dim]
+
+    def _choose_dim(self, indices: np.ndarray, depth: int, ndim: int) -> int:
+        if self._split_rule == "cyclic" or len(indices) == 1:
+            return depth % ndim
+        member_points = self._points[indices]
+        spread = member_points.max(axis=0) - member_points.min(axis=0)
+        return int(np.argmax(spread))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def points(self) -> np.ndarray:
+        return self._points
+
+    @property
+    def n(self) -> int:
+        return len(self._points)
+
+    @property
+    def ndim(self) -> int:
+        return self._points.shape[1]
+
+    @property
+    def height(self) -> int:
+        """Number of levels (a single-node tree has height 1)."""
+        return int(self._depth.max()) + 1
+
+    def node_point(self, node: int) -> np.ndarray:
+        """The point stored at tree node ``node`` (root is node 0)."""
+        return self._points[self._point_index[node]]
+
+    def subtree_point_indices(self, node: int) -> np.ndarray:
+        """All point indices stored in the subtree rooted at ``node``.
+
+        Used by the two-stage structure to materialize leaf sets.
+        """
+        result: list[int] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            result.append(int(self._point_index[current]))
+            if self._left[current] >= 0:
+                stack.append(int(self._left[current]))
+            if self._right[current] >= 0:
+                stack.append(int(self._right[current]))
+        return np.array(sorted(result), dtype=np.int64)
+
+    def __repr__(self) -> str:
+        return (
+            f"KDTree(n={self.n}, ndim={self.ndim}, height={self.height}, "
+            f"split_rule={self._split_rule!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _check_query(self, query: np.ndarray) -> np.ndarray:
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if len(query) != self.ndim:
+            raise ValueError(
+                f"query has dimension {len(query)}, tree has {self.ndim}"
+            )
+        if not np.all(np.isfinite(query)):
+            raise ValueError("query contains NaN or infinity")
+        return query
+
+    def nn(
+        self, query: np.ndarray, stats: SearchStats | None = None
+    ) -> tuple[int, float]:
+        """Nearest neighbor: (point index, distance)."""
+        query = self._check_query(query)
+        points = self._points
+        best_sq = np.inf
+        best_idx = -1
+        visits = pops = pruned = 0
+
+        contrib = np.zeros(self.ndim)
+        stack: list[tuple[int, float, np.ndarray]] = [(0, 0.0, contrib)]
+        while stack:
+            node, bound_sq, contrib = stack.pop()
+            pops += 1
+            if bound_sq > best_sq:
+                pruned += 1
+                continue
+            pidx = self._point_index[node]
+            diff = query - points[pidx]
+            d_sq = float(diff @ diff)
+            visits += 1
+            if d_sq < best_sq:
+                best_sq = d_sq
+                best_idx = int(pidx)
+            left_child = self._left[node]
+            right_child = self._right[node]
+            if left_child < 0 and right_child < 0:
+                continue
+            dim = self._split_dim[node]
+            delta = query[dim] - self._split_value[node]
+            if delta < 0:
+                near, far = left_child, right_child
+            else:
+                near, far = right_child, left_child
+            if far >= 0:
+                far_bound = bound_sq - contrib[dim] + delta * delta
+                if far_bound <= best_sq:
+                    far_contrib = contrib.copy()
+                    far_contrib[dim] = delta * delta
+                    stack.append((int(far), far_bound, far_contrib))
+                else:
+                    pruned += 1
+            if near >= 0:
+                stack.append((int(near), bound_sq, contrib))
+
+        if stats is not None:
+            stats.nodes_visited += visits
+            stats.traversal_steps += pops
+            stats.pruned_subtrees += pruned
+            stats.queries += 1
+            stats.results_returned += 1
+        return best_idx, float(np.sqrt(best_sq))
+
+    def knn(
+        self, query: np.ndarray, k: int, stats: SearchStats | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The ``k`` nearest neighbors, sorted by ascending distance."""
+        query = self._check_query(query)
+        if k <= 0:
+            raise ValueError("k must be positive")
+        k = min(k, self.n)
+        points = self._points
+        # Max-heap of (-sq_distance, point index), capped at k entries.
+        heap: list[tuple[float, int]] = []
+        visits = pops = pruned = 0
+
+        def bound() -> float:
+            return -heap[0][0] if len(heap) == k else np.inf
+
+        contrib = np.zeros(self.ndim)
+        stack: list[tuple[int, float, np.ndarray]] = [(0, 0.0, contrib)]
+        while stack:
+            node, bound_sq, contrib = stack.pop()
+            pops += 1
+            if bound_sq > bound():
+                pruned += 1
+                continue
+            pidx = self._point_index[node]
+            diff = query - points[pidx]
+            d_sq = float(diff @ diff)
+            visits += 1
+            if len(heap) < k:
+                heapq.heappush(heap, (-d_sq, int(pidx)))
+            elif d_sq < -heap[0][0]:
+                heapq.heapreplace(heap, (-d_sq, int(pidx)))
+            left_child = self._left[node]
+            right_child = self._right[node]
+            if left_child < 0 and right_child < 0:
+                continue
+            dim = self._split_dim[node]
+            delta = query[dim] - self._split_value[node]
+            if delta < 0:
+                near, far = left_child, right_child
+            else:
+                near, far = right_child, left_child
+            if far >= 0:
+                far_bound = bound_sq - contrib[dim] + delta * delta
+                if far_bound <= bound():
+                    far_contrib = contrib.copy()
+                    far_contrib[dim] = delta * delta
+                    stack.append((int(far), far_bound, far_contrib))
+                else:
+                    pruned += 1
+            if near >= 0:
+                stack.append((int(near), bound_sq, contrib))
+
+        entries = sorted(((-neg_sq, idx) for neg_sq, idx in heap))
+        indices = np.array([idx for _, idx in entries], dtype=np.int64)
+        dists = np.sqrt(np.array([sq for sq, _ in entries]))
+        if stats is not None:
+            stats.nodes_visited += visits
+            stats.traversal_steps += pops
+            stats.pruned_subtrees += pruned
+            stats.queries += 1
+            stats.results_returned += len(indices)
+        return indices, dists
+
+    def radius(
+        self,
+        query: np.ndarray,
+        r: float,
+        stats: SearchStats | None = None,
+        sort: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """All neighbors within distance ``r``: (indices, distances)."""
+        query = self._check_query(query)
+        if r < 0:
+            raise ValueError("radius must be non-negative")
+        points = self._points
+        r_sq = r * r
+        found: list[tuple[int, float]] = []
+        visits = pops = pruned = 0
+
+        contrib = np.zeros(self.ndim)
+        stack: list[tuple[int, float, np.ndarray]] = [(0, 0.0, contrib)]
+        while stack:
+            node, bound_sq, contrib = stack.pop()
+            pops += 1
+            if bound_sq > r_sq:
+                pruned += 1
+                continue
+            pidx = self._point_index[node]
+            diff = query - points[pidx]
+            d_sq = float(diff @ diff)
+            visits += 1
+            if d_sq <= r_sq:
+                found.append((int(pidx), d_sq))
+            left_child = self._left[node]
+            right_child = self._right[node]
+            if left_child < 0 and right_child < 0:
+                continue
+            dim = self._split_dim[node]
+            delta = query[dim] - self._split_value[node]
+            if delta < 0:
+                near, far = left_child, right_child
+            else:
+                near, far = right_child, left_child
+            if far >= 0:
+                far_bound = bound_sq - contrib[dim] + delta * delta
+                if far_bound <= r_sq:
+                    far_contrib = contrib.copy()
+                    far_contrib[dim] = delta * delta
+                    stack.append((int(far), far_bound, far_contrib))
+                else:
+                    pruned += 1
+            if near >= 0:
+                stack.append((int(near), bound_sq, contrib))
+
+        if stats is not None:
+            stats.nodes_visited += visits
+            stats.traversal_steps += pops
+            stats.pruned_subtrees += pruned
+            stats.queries += 1
+            stats.results_returned += len(found)
+        if not found:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        indices = np.array([idx for idx, _ in found], dtype=np.int64)
+        dists = np.sqrt(np.array([sq for _, sq in found]))
+        if sort:
+            order = np.argsort(dists, kind="stable")
+            return indices[order], dists[order]
+        return indices, dists
+
+    # ------------------------------------------------------------------
+    # Batch conveniences
+    # ------------------------------------------------------------------
+
+    def nn_batch(
+        self, queries: np.ndarray, stats: SearchStats | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Nearest neighbor for every row of ``queries``."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        indices = np.empty(len(queries), dtype=np.int64)
+        dists = np.empty(len(queries))
+        for i, query in enumerate(queries):
+            indices[i], dists[i] = self.nn(query, stats)
+        return indices, dists
+
+    def knn_batch(
+        self, queries: np.ndarray, k: int, stats: SearchStats | None = None
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """kNN for every row of ``queries`` (ragged when k > n)."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        all_indices, all_dists = [], []
+        for query in queries:
+            indices, dists = self.knn(query, k, stats)
+            all_indices.append(indices)
+            all_dists.append(dists)
+        return all_indices, all_dists
+
+    def radius_batch(
+        self,
+        queries: np.ndarray,
+        r: float,
+        stats: SearchStats | None = None,
+        sort: bool = False,
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Radius search for every row of ``queries``."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        all_indices, all_dists = [], []
+        for query in queries:
+            indices, dists = self.radius(query, r, stats, sort=sort)
+            all_indices.append(indices)
+            all_dists.append(dists)
+        return all_indices, all_dists

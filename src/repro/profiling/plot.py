@@ -1,0 +1,104 @@
+"""Terminal plotting for benchmark reports.
+
+The benchmark harness reproduces the paper's *figures*; these helpers
+render them as ASCII so the ``benchmarks/results/*.txt`` files carry the
+visual shape (scatter for Fig. 3/14a, curves for Fig. 15) without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["scatter_plot", "line_plot", "bar_chart"]
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, int(position * (cells - 1) + 0.5)))
+
+
+def scatter_plot(
+    points: list[tuple[float, float, str]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Plot labelled (x, y) points; each point renders as its label's
+    first character, with a legend mapping characters to labels."""
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    legend: dict[str, str] = {}
+    for x, y, label in points:
+        column = _scale(x, x_lo, x_hi, width)
+        row = height - 1 - _scale(y, y_lo, y_hi, height)
+        marker = label[0] if label else "*"
+        if grid[row][column] not in (" ", marker):
+            marker = "+"  # collision
+        grid[row][column] = marker
+        legend.setdefault(label[0] if label else "*", label)
+
+    lines = [f"{y_label} ({y_lo:.3g} .. {y_hi:.3g})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} ({x_lo:.3g} .. {x_hi:.3g})")
+    lines.append(
+        " legend: "
+        + ", ".join(f"{marker}={label}" for marker, label in sorted(legend.items()))
+    )
+    return "\n".join(lines)
+
+
+def line_plot(
+    xs: list[float],
+    ys: list[float],
+    width: int = 60,
+    height: int = 14,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_y: bool = False,
+) -> str:
+    """Plot one series as a curve of ``*`` markers."""
+    if not xs or len(xs) != len(ys):
+        return "(no data)"
+    values = [math.log10(y) if log_y else y for y in ys]
+    y_lo, y_hi = min(values), max(values)
+    x_lo, x_hi = min(xs), max(xs)
+    grid = [[" "] * width for _ in range(height)]
+    for x, value in zip(xs, values):
+        column = _scale(x, x_lo, x_hi, width)
+        row = height - 1 - _scale(value, y_lo, y_hi, height)
+        grid[row][column] = "*"
+    label = f"log10({y_label})" if log_y else y_label
+    lines = [f"{label} ({min(ys):.3g} .. {max(ys):.3g})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} ({x_lo:.3g} .. {x_hi:.3g})")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    items: dict[str, float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bars, scaled to the maximum value."""
+    if not items:
+        return "(no data)"
+    peak = max(items.values())
+    label_width = max(len(name) for name in items)
+    lines = []
+    for name, value in items.items():
+        bar = "#" * _scale(value, 0.0, peak, width) if peak > 0 else ""
+        lines.append(f"{name:<{label_width}} |{bar} {value:.3g}{unit}")
+    return "\n".join(lines)

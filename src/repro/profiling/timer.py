@@ -1,0 +1,132 @@
+"""Hierarchical stage profiler.
+
+The bottleneck analysis of paper Sec. 3.2 (Fig. 4) needs two views of
+the same run: wall time per pipeline *stage* (Normal Estimation, KPCE,
+RPCE, ...) and, cutting across stages, time spent in KD-tree *search*
+versus KD-tree *construction* versus everything else.  ``StageProfiler``
+supports both: stages are timed with context managers, and the neighbor
+search wrapper charges its own time to dedicated cross-cutting buckets.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["StageProfiler", "StageTiming"]
+
+
+@dataclass
+class StageTiming:
+    """Accumulated timing for one named stage."""
+
+    total: float = 0.0
+    kdtree_search: float = 0.0
+    kdtree_construction: float = 0.0
+    calls: int = 0
+
+    @property
+    def other(self) -> float:
+        """Time not attributable to KD-tree work."""
+        return max(0.0, self.total - self.kdtree_search - self.kdtree_construction)
+
+
+@dataclass
+class StageProfiler:
+    """Collects per-stage and cross-cutting KD-tree timings.
+
+    Stages may not overlap (the pipeline is sequential); the currently
+    open stage receives any KD-tree charges reported while it is active.
+    """
+
+    stages: dict[str, StageTiming] = field(default_factory=dict)
+    _active: str | None = None
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time a pipeline stage: ``with profiler.stage("RPCE"): ...``."""
+        if self._active is not None:
+            raise RuntimeError(
+                f"stage {name!r} opened while {self._active!r} is active"
+            )
+        timing = self.stages.setdefault(name, StageTiming())
+        self._active = name
+        start = time.perf_counter()
+        try:
+            yield timing
+        finally:
+            timing.total += time.perf_counter() - start
+            timing.calls += 1
+            self._active = None
+
+    def charge_search(self, elapsed: float) -> None:
+        """Attribute ``elapsed`` seconds of KD-tree search to the open stage."""
+        if self._active is not None:
+            self.stages[self._active].kdtree_search += elapsed
+
+    def charge_construction(self, elapsed: float) -> None:
+        """Attribute KD-tree build time to the open stage."""
+        if self._active is not None:
+            self.stages[self._active].kdtree_construction += elapsed
+
+    # ------------------------------------------------------------------
+    # Aggregations used by the Fig. 4 benches
+    # ------------------------------------------------------------------
+
+    @property
+    def total(self) -> float:
+        return sum(t.total for t in self.stages.values())
+
+    @property
+    def total_kdtree_search(self) -> float:
+        return sum(t.kdtree_search for t in self.stages.values())
+
+    @property
+    def total_kdtree_construction(self) -> float:
+        return sum(t.kdtree_construction for t in self.stages.values())
+
+    def stage_fractions(self) -> dict[str, float]:
+        """Fraction of total time per stage (Fig. 4a rows)."""
+        total = self.total
+        if total == 0:
+            return {name: 0.0 for name in self.stages}
+        return {name: t.total / total for name, t in self.stages.items()}
+
+    def kdtree_fractions(self) -> dict[str, float]:
+        """Fractions for Fig. 4b: search / construction / other."""
+        total = self.total
+        if total == 0:
+            return {"search": 0.0, "construction": 0.0, "other": 0.0}
+        search = self.total_kdtree_search
+        construction = self.total_kdtree_construction
+        return {
+            "search": search / total,
+            "construction": construction / total,
+            "other": max(0.0, total - search - construction) / total,
+        }
+
+    def merge(self, other: "StageProfiler") -> None:
+        """Fold another profiler's stages into this one."""
+        for name, timing in other.stages.items():
+            mine = self.stages.setdefault(name, StageTiming())
+            mine.total += timing.total
+            mine.kdtree_search += timing.kdtree_search
+            mine.kdtree_construction += timing.kdtree_construction
+            mine.calls += timing.calls
+
+    def report(self) -> str:
+        """Human-readable table of stage timings."""
+        lines = [f"{'stage':<28}{'total(s)':>10}{'kd-search':>11}{'kd-build':>10}"]
+        for name, timing in sorted(
+            self.stages.items(), key=lambda kv: -kv[1].total
+        ):
+            lines.append(
+                f"{name:<28}{timing.total:>10.4f}"
+                f"{timing.kdtree_search:>11.4f}{timing.kdtree_construction:>10.4f}"
+            )
+        lines.append(
+            f"{'TOTAL':<28}{self.total:>10.4f}"
+            f"{self.total_kdtree_search:>11.4f}{self.total_kdtree_construction:>10.4f}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Feature descriptor calculation (pipeline stage 3, paper Sec. 3.1).
+
+Converts keypoints from 3D space into a high-dimensional feature space
+that encodes neighborhood geometry.  Algorithm choices per Table 1:
+FPFH (33-d), SHOT (352-d), 3DSC (96-d); the shared key parameter is the
+descriptor search radius.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.io.pointcloud import PointCloud
+from repro.registration.descriptors.fpfh import FPFH_DIMS, fpfh_descriptors
+from repro.registration.descriptors.sc3d import SC3D_DIMS, sc3d_descriptors
+from repro.registration.descriptors.shot import SHOT_DIMS, shot_descriptors
+from repro.registration.search import NeighborSearcher
+
+__all__ = [
+    "DescriptorConfig",
+    "compute_descriptors",
+    "fpfh_descriptors",
+    "shot_descriptors",
+    "sc3d_descriptors",
+    "FPFH_DIMS",
+    "SHOT_DIMS",
+    "SC3D_DIMS",
+]
+
+_METHODS = ("fpfh", "shot", "3dsc")
+
+
+@dataclass(frozen=True)
+class DescriptorConfig:
+    """Descriptor choice + the Table-1 search-radius knob."""
+
+    method: str = "fpfh"
+    radius: float = 1.0
+
+    def __post_init__(self):
+        if self.method not in _METHODS:
+            raise ValueError(f"method must be one of {_METHODS}")
+        if self.radius <= 0:
+            raise ValueError("radius must be positive")
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the produced feature space."""
+        return {"fpfh": FPFH_DIMS, "shot": SHOT_DIMS, "3dsc": SC3D_DIMS}[self.method]
+
+
+def compute_descriptors(
+    cloud: PointCloud,
+    searcher: NeighborSearcher,
+    keypoint_indices: np.ndarray,
+    config: DescriptorConfig | None = None,
+) -> np.ndarray:
+    """Compute descriptors for the given keypoints of ``cloud``."""
+    config = config or DescriptorConfig()
+    if config.method == "fpfh":
+        return fpfh_descriptors(cloud, searcher, keypoint_indices, config.radius)
+    if config.method == "shot":
+        return shot_descriptors(cloud, searcher, keypoint_indices, config.radius)
+    return sc3d_descriptors(cloud, searcher, keypoint_indices, config.radius)

@@ -1,0 +1,139 @@
+"""Fast Point Feature Histograms (paper Table 1: FPFH [56]).
+
+Rusu et al.'s descriptor: for every point pair in a neighborhood, a
+Darboux frame built from the source normal turns the pair's geometry
+into three angles (alpha, phi, theta); histogramming each angle into 11
+bins yields the 33-dimensional Simplified PFH (SPFH).  The final FPFH
+of a point is its own SPFH plus the distance-weighted average of its
+neighbors' SPFHs — the "fast" trick that reuses neighbor histograms
+instead of re-pairing the whole neighborhood.
+
+The ``radius`` parameter is the Descriptor Calculation search-radius
+knob of the paper's Table 1, and makes this stage a heavy radius-search
+(KD-tree) consumer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.io.pointcloud import PointCloud
+from repro.registration.search import NeighborSearcher
+
+__all__ = ["fpfh_descriptors", "FPFH_BINS", "FPFH_DIMS"]
+
+FPFH_BINS = 11
+FPFH_DIMS = 3 * FPFH_BINS  # 33
+
+
+def fpfh_descriptors(
+    cloud: PointCloud,
+    searcher: NeighborSearcher,
+    keypoint_indices: np.ndarray,
+    radius: float = 1.0,
+) -> np.ndarray:
+    """Compute (len(keypoint_indices), 33) FPFH descriptors.
+
+    Requires normals on ``cloud``.  SPFHs are computed lazily for
+    keypoints and their neighbors only, then combined with the standard
+    1/distance weighting.
+    """
+    if not cloud.has_normals:
+        raise ValueError("FPFH requires normals; run estimate_normals first")
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    keypoint_indices = np.asarray(keypoint_indices, dtype=np.int64)
+    points = cloud.points
+    normals = cloud.normals
+
+    # Pass 1: neighbors of each keypoint (one radius search per keypoint).
+    neighbor_lists: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    needed: set[int] = set()
+    for idx in keypoint_indices:
+        nbr_idx, nbr_dist = searcher.radius(points[idx], radius)
+        mask = nbr_idx != idx
+        neighbor_lists[int(idx)] = (nbr_idx[mask], nbr_dist[mask])
+        needed.add(int(idx))
+        needed.update(int(j) for j in nbr_idx[mask])
+
+    # Pass 2: SPFH for every needed point (keypoints + their neighbors).
+    spfh: dict[int, np.ndarray] = {}
+    for idx in needed:
+        if idx in neighbor_lists:
+            nbr_idx, _ = neighbor_lists[idx]
+        else:
+            nbr_idx, nbr_dist = searcher.radius(points[idx], radius)
+            mask = nbr_idx != idx
+            nbr_idx = nbr_idx[mask]
+            neighbor_lists[idx] = (nbr_idx, nbr_dist[mask])
+        spfh[idx] = _spfh(points, normals, idx, nbr_idx)
+
+    # Pass 3: FPFH = own SPFH + weighted neighbor SPFHs.
+    descriptors = np.zeros((len(keypoint_indices), FPFH_DIMS))
+    for row, idx in enumerate(keypoint_indices):
+        nbr_idx, nbr_dist = neighbor_lists[int(idx)]
+        histogram = spfh[int(idx)].copy()
+        if len(nbr_idx):
+            weights = 1.0 / np.maximum(nbr_dist, 1e-6)
+            weighted = np.zeros(FPFH_DIMS)
+            for j, w in zip(nbr_idx, weights):
+                weighted += w * spfh[int(j)]
+            histogram += weighted / len(nbr_idx)
+        total = histogram.sum()
+        if total > 0:
+            histogram = histogram / total * 100.0  # PCL normalizes to 100
+        descriptors[row] = histogram
+    return descriptors
+
+
+def _spfh(
+    points: np.ndarray,
+    normals: np.ndarray,
+    idx: int,
+    neighbor_idx: np.ndarray,
+) -> np.ndarray:
+    """Simplified PFH of one point: 3 x 11-bin angle histograms."""
+    histogram = np.zeros(FPFH_DIMS)
+    if len(neighbor_idx) == 0:
+        return histogram
+    p = points[idx]
+    n_p = normals[idx]
+    q = points[neighbor_idx]
+    n_q = normals[neighbor_idx]
+    d = q - p
+    dist = np.linalg.norm(d, axis=1)
+    ok = dist > 1e-9
+    if not np.any(ok):
+        return histogram
+    d = d[ok] / dist[ok, None]
+    n_q = n_q[ok]
+
+    # Darboux frame per pair: u = n_p, v = d x u, w = u x v.
+    u = np.broadcast_to(n_p, d.shape)
+    v = np.cross(d, u)
+    v_norm = np.linalg.norm(v, axis=1, keepdims=True)
+    good = v_norm[:, 0] > 1e-9
+    if not np.any(good):
+        return histogram
+    v = v[good] / v_norm[good]
+    u = u[good]
+    d = d[good]
+    n_q = n_q[good]
+    w = np.cross(u, v)
+
+    alpha = np.einsum("ij,ij->i", v, n_q)  # in [-1, 1]
+    phi = np.einsum("ij,ij->i", u, d)  # in [-1, 1]
+    theta = np.arctan2(
+        np.einsum("ij,ij->i", w, n_q), np.einsum("ij,ij->i", u, n_q)
+    )  # in [-pi, pi]
+
+    for feature, lo, hi, offset in (
+        (alpha, -1.0, 1.0, 0),
+        (phi, -1.0, 1.0, FPFH_BINS),
+        (theta, -np.pi, np.pi, 2 * FPFH_BINS),
+    ):
+        bins = ((feature - lo) / (hi - lo) * FPFH_BINS).astype(np.int64)
+        bins = np.clip(bins, 0, FPFH_BINS - 1)
+        counts = np.bincount(bins, minlength=FPFH_BINS)
+        histogram[offset : offset + FPFH_BINS] += counts
+    return histogram

@@ -1,0 +1,95 @@
+"""Controlled error injection into KD-tree search (paper Sec. 4.2, Fig. 7).
+
+To quantify how tolerant registration is to inexact search, the paper
+injects two kinds of errors:
+
+* **k-th NN substitution** — NN search returns the k-th nearest
+  neighbor instead of the nearest (Fig. 7a; ``k`` sweeps 1..9);
+* **shell radius search** — radius search returns points inside the
+  spherical shell ``<r1, r2>`` instead of the ball of radius ``r``
+  (Fig. 7b; the paper sweeps r1 from 10 cm up with r2 >= r).
+
+Injectors plug into :class:`~repro.registration.search.NeighborSearcher`
+and post-process backend results, so any stage can be degraded
+independently — dense stages (NE, RPCE) to demonstrate robustness,
+sparse KPCE to demonstrate fragility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KthNeighborInjector", "ShellRadiusInjector", "IdentityInjector"]
+
+
+@dataclass(frozen=True)
+class IdentityInjector:
+    """Pass-through injector (useful as a control in experiments)."""
+
+    def nn(self, index, query, stats):
+        return index.nn(query, stats)
+
+    def knn(self, index, query, k, stats):
+        return index.knn(query, k, stats)
+
+    def radius(self, index, query, r, stats, sort=False):
+        return index.radius(query, r, stats, sort=sort)
+
+
+@dataclass(frozen=True)
+class KthNeighborInjector:
+    """Replace NN results with the k-th nearest neighbor.
+
+    ``k = 1`` is exact.  kNN queries are shifted accordingly (the i-th
+    requested neighbor becomes the (i + k - 1)-th true neighbor), and
+    radius queries pass through untouched.
+    """
+
+    k: int = 1
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+
+    def nn(self, index, query, stats):
+        indices, dists = index.knn(query, self.k, stats)
+        if len(indices) == 0:
+            return -1, np.inf
+        return int(indices[-1]), float(dists[-1])
+
+    def knn(self, index, query, k, stats):
+        indices, dists = index.knn(query, k + self.k - 1, stats)
+        return indices[self.k - 1 :], dists[self.k - 1 :]
+
+    def radius(self, index, query, r, stats, sort=False):
+        return index.radius(query, r, stats, sort=sort)
+
+
+@dataclass(frozen=True)
+class ShellRadiusInjector:
+    """Replace radius-``r`` results with the shell ``<r1, r2>``.
+
+    Points closer than ``r1`` are dropped and the search extends to
+    ``r2``; with ``r1 = 0, r2 = r`` the search is exact.  NN/kNN queries
+    pass through untouched.
+    """
+
+    r1: float
+    r2: float
+
+    def __post_init__(self):
+        if self.r1 < 0 or self.r2 <= self.r1:
+            raise ValueError("need 0 <= r1 < r2")
+
+    def nn(self, index, query, stats):
+        return index.nn(query, stats)
+
+    def knn(self, index, query, k, stats):
+        return index.knn(query, k, stats)
+
+    def radius(self, index, query, r, stats, sort=False):
+        indices, dists = index.radius(query, self.r2, stats, sort=sort)
+        mask = dists >= self.r1
+        return indices[mask], dists[mask]

@@ -1,0 +1,214 @@
+"""Transformation estimation (paper Sec. 3.1, fine-tuning stage 2).
+
+Given matched point pairs, estimate the rigid transform minimizing an
+error metric.  Table-1 choices implemented:
+
+* **point-to-point** error [34] with the closed-form **SVD** solver [25]
+  (the Kabsch/Umeyama algorithm);
+* **point-to-plane** error [12] with a linearized small-angle
+  least-squares solver (the standard Gauss-Newton step for ICP);
+* the **Levenberg-Marquardt** iterative solver [45] for either metric,
+  implemented directly on the 6-dof (rotation-vector, translation)
+  parameterization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import se3
+
+__all__ = [
+    "kabsch",
+    "point_to_plane",
+    "levenberg_marquardt",
+    "point_to_point_residuals",
+    "point_to_plane_residuals",
+]
+
+
+def kabsch(
+    source: np.ndarray,
+    target: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Closed-form least-squares rigid transform (point-to-point, SVD).
+
+    Returns the 4x4 transform ``M`` minimizing
+    ``sum w_i || M source_i - target_i ||^2``.
+    """
+    source = np.asarray(source, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if source.shape != target.shape or source.ndim != 2 or source.shape[1] != 3:
+        raise ValueError("source/target must be matching (N, 3) arrays")
+    if len(source) < 3:
+        raise ValueError("need at least 3 point pairs")
+    if weights is None:
+        weights = np.ones(len(source))
+    weights = np.asarray(weights, dtype=np.float64)
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+
+    source_centroid = (weights[:, None] * source).sum(axis=0) / total
+    target_centroid = (weights[:, None] * target).sum(axis=0) / total
+    src_centered = source - source_centroid
+    tgt_centered = target - target_centroid
+    cross_cov = (weights[:, None] * src_centered).T @ tgt_centered
+    u, _, vt = np.linalg.svd(cross_cov)
+    sign = np.sign(np.linalg.det(vt.T @ u.T))
+    correction = np.diag([1.0, 1.0, sign if sign != 0 else 1.0])
+    rotation = vt.T @ correction @ u.T
+    translation = target_centroid - rotation @ source_centroid
+    return se3.make_transform(rotation, translation)
+
+
+def point_to_plane(
+    source: np.ndarray,
+    target: np.ndarray,
+    target_normals: np.ndarray,
+) -> np.ndarray:
+    """Linearized point-to-plane step (Chen & Medioni).
+
+    Minimizes ``sum ((R s_i + t - q_i) . n_i)^2`` under the small-angle
+    approximation ``R ~ I + [w]x``, yielding a 6x6 linear system in
+    ``(w, t)``.  The returned transform uses the exact rotation
+    reconstructed from ``w`` so repeated application stays in SE(3).
+    """
+    source = np.asarray(source, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    normals = np.asarray(target_normals, dtype=np.float64)
+    if not (source.shape == target.shape == normals.shape):
+        raise ValueError("source/target/normals must be matching (N, 3) arrays")
+    if len(source) < 6:
+        raise ValueError("need at least 6 pairs for a stable 6-dof solve")
+
+    cross = np.cross(source, normals)  # d residual / d w
+    jacobian = np.hstack([cross, normals])  # (N, 6)
+    residuals = np.einsum("ij,ij->i", source - target, normals)
+    lhs = jacobian.T @ jacobian
+    rhs = -jacobian.T @ residuals
+    try:
+        x = np.linalg.solve(lhs, rhs)
+    except np.linalg.LinAlgError:
+        x, *_ = np.linalg.lstsq(lhs, rhs, rcond=None)
+    omega, translation = x[:3], x[3:]
+    angle = float(np.linalg.norm(omega))
+    rotation = (
+        se3.axis_angle_to_rotation(omega, angle) if angle > 0 else np.eye(3)
+    )
+    return se3.make_transform(rotation, translation)
+
+
+def point_to_point_residuals(
+    params: np.ndarray, source: np.ndarray, target: np.ndarray
+) -> np.ndarray:
+    """Flattened residual vector for the point-to-point metric."""
+    transform = _params_to_transform(params)
+    return (se3.apply_transform(transform, source) - target).ravel()
+
+
+def point_to_plane_residuals(
+    params: np.ndarray,
+    source: np.ndarray,
+    target: np.ndarray,
+    normals: np.ndarray,
+) -> np.ndarray:
+    """Residual vector for the point-to-plane metric."""
+    transform = _params_to_transform(params)
+    moved = se3.apply_transform(transform, source)
+    return np.einsum("ij,ij->i", moved - target, normals)
+
+
+def levenberg_marquardt(
+    source: np.ndarray,
+    target: np.ndarray,
+    target_normals: np.ndarray | None = None,
+    max_iterations: int = 20,
+    initial_lambda: float = 1e-3,
+    tolerance: float = 1e-10,
+) -> np.ndarray:
+    """Levenberg-Marquardt rigid-transform fit [45].
+
+    Uses the point-to-plane metric when ``target_normals`` is given,
+    point-to-point otherwise.  The Jacobian is evaluated analytically at
+    the identity of the *current* estimate each iteration (the standard
+    compose-update scheme), so convergence does not rely on small total
+    motion.
+    """
+    source = np.asarray(source, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if len(source) < 3:
+        raise ValueError("need at least 3 point pairs")
+    current = se3.identity()
+    lam = initial_lambda
+
+    def cost(transform: np.ndarray) -> float:
+        moved = se3.apply_transform(transform, source)
+        if target_normals is None:
+            return float(np.sum((moved - target) ** 2))
+        r = np.einsum("ij,ij->i", moved - target, target_normals)
+        return float(np.sum(r * r))
+
+    current_cost = cost(current)
+    for _ in range(max_iterations):
+        moved = se3.apply_transform(current, source)
+        if target_normals is None:
+            # Residuals r = moved - target; d r / d (w, t) per coordinate.
+            residuals = (moved - target).ravel()
+            n = len(source)
+            jacobian = np.zeros((3 * n, 6))
+            # d(R p)/dw = -[p]x at identity, applied around current estimate.
+            jacobian[0::3, 1] = moved[:, 2]
+            jacobian[0::3, 2] = -moved[:, 1]
+            jacobian[1::3, 0] = -moved[:, 2]
+            jacobian[1::3, 2] = moved[:, 0]
+            jacobian[2::3, 0] = moved[:, 1]
+            jacobian[2::3, 1] = -moved[:, 0]
+            jacobian[0::3, 3] = 1.0
+            jacobian[1::3, 4] = 1.0
+            jacobian[2::3, 5] = 1.0
+        else:
+            residuals = np.einsum("ij,ij->i", moved - target, target_normals)
+            jacobian = np.hstack(
+                [np.cross(moved, target_normals), target_normals]
+            )
+
+        gram = jacobian.T @ jacobian
+        gradient = jacobian.T @ residuals
+        improved = False
+        for _ in range(8):
+            try:
+                step = np.linalg.solve(
+                    gram + lam * np.diag(np.diag(gram)) + 1e-12 * np.eye(6),
+                    -gradient,
+                )
+            except np.linalg.LinAlgError:
+                lam *= 10.0
+                continue
+            candidate = se3.compose(_params_to_transform(step), current)
+            candidate_cost = cost(candidate)
+            if candidate_cost < current_cost:
+                current = candidate
+                gain = current_cost - candidate_cost
+                current_cost = candidate_cost
+                lam = max(lam / 10.0, 1e-12)
+                improved = True
+                if gain < tolerance:
+                    return current
+                break
+            lam *= 10.0
+        if not improved:
+            break
+    return current
+
+
+def _params_to_transform(params: np.ndarray) -> np.ndarray:
+    """(rotation-vector, translation) 6-vector to a 4x4 transform."""
+    params = np.asarray(params, dtype=np.float64).reshape(6)
+    omega, translation = params[:3], params[3:]
+    angle = float(np.linalg.norm(omega))
+    rotation = (
+        se3.axis_angle_to_rotation(omega, angle) if angle > 0 else np.eye(3)
+    )
+    return se3.make_transform(rotation, translation)

@@ -1,0 +1,180 @@
+"""NARF keypoint detector (paper Table 1: NARF [62]).
+
+Steder et al.'s Normal Aligned Radial Feature detector operates on a
+*range image* rather than the raw point set: it finds object borders
+(range discontinuities), scores surface change in the neighborhood of
+every image pixel, and selects stable surface points close to
+significant change — typically object corners and silhouettes.
+
+Our LiDAR frames are natively organized (``ring`` x ``azimuth``
+channels from :mod:`repro.io.synthetic`), so the range image is exact;
+for unorganized clouds a spherical projection is computed.  The
+``support_size`` parameter (meters) is the "range" design knob of the
+paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.io.pointcloud import PointCloud
+
+__all__ = ["narf_keypoints", "RangeImage", "build_range_image"]
+
+
+@dataclass
+class RangeImage:
+    """An organized range map with the producing point index per pixel."""
+
+    ranges: np.ndarray  # (rows, cols), np.inf where no return
+    point_index: np.ndarray  # (rows, cols) int, -1 where no return
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.ranges.shape
+
+    def valid_mask(self) -> np.ndarray:
+        return np.isfinite(self.ranges)
+
+
+def build_range_image(
+    cloud: PointCloud,
+    rows: int = 32,
+    cols: int = 180,
+) -> RangeImage:
+    """Organize a cloud into a range image.
+
+    Uses the LiDAR ``ring``/``azimuth`` attributes when present (exact);
+    otherwise bins points by spherical coordinates around the sensor
+    origin.  When several points land in one pixel the closest wins, as
+    a real sensor would report.
+    """
+    points = cloud.points
+    ranges = np.linalg.norm(points, axis=1)
+    if cloud.has_attribute("ring") and cloud.has_attribute("azimuth"):
+        row_idx = np.asarray(cloud.get_attribute("ring"), dtype=np.int64)
+        col_idx = np.asarray(cloud.get_attribute("azimuth"), dtype=np.int64)
+        n_rows = int(row_idx.max()) + 1 if len(row_idx) else rows
+        n_cols = int(col_idx.max()) + 1 if len(col_idx) else cols
+    else:
+        elevation = np.arcsin(np.clip(points[:, 2] / np.maximum(ranges, 1e-9), -1, 1))
+        azimuth = np.arctan2(points[:, 1], points[:, 0])
+        el_lo, el_hi = elevation.min(), elevation.max() + 1e-9
+        row_idx = ((elevation - el_lo) / (el_hi - el_lo) * (rows - 1)).astype(np.int64)
+        # Azimuth convention matches the LiDAR scan layout: [0, 2*pi).
+        col_idx = (np.mod(azimuth, 2 * np.pi) / (2 * np.pi) * (cols - 1)).astype(
+            np.int64
+        )
+        n_rows, n_cols = rows, cols
+
+    image = np.full((n_rows, n_cols), np.inf)
+    index = np.full((n_rows, n_cols), -1, dtype=np.int64)
+    for i in range(len(points)):
+        r, c = row_idx[i], col_idx[i]
+        if ranges[i] < image[r, c]:
+            image[r, c] = ranges[i]
+            index[r, c] = i
+    return RangeImage(ranges=image, point_index=index)
+
+
+def narf_keypoints(
+    cloud: PointCloud,
+    support_size: float = 2.0,
+    border_threshold: float = 0.5,
+    interest_threshold: float = 0.02,
+    max_keypoints: int | None = None,
+) -> np.ndarray:
+    """Return indices of NARF keypoints.
+
+    ``support_size`` (meters) sets both the surface-change window and
+    the non-maximum-suppression radius; ``border_threshold`` (meters) is
+    the range jump that declares an object border.
+    """
+    if support_size <= 0:
+        raise ValueError("support_size must be positive")
+    image = build_range_image(cloud)
+    ranges = image.ranges
+    rows, cols = image.shape
+    valid = image.valid_mask()
+
+    # 1. Border detection: range discontinuities along rows and columns
+    # (columns wrap around: the scan is a full revolution).
+    border = np.zeros((rows, cols), dtype=bool)
+    right = np.roll(ranges, -1, axis=1)
+    down = np.full_like(ranges, np.inf)
+    down[:-1, :] = ranges[1:, :]
+    # inf - inf at missing-return pixels is expected; the isfinite mask
+    # discards those entries, so the invalid-op warning is suppressed.
+    with np.errstate(invalid="ignore"):
+        jump_h = np.abs(ranges - right)
+        jump_v = np.abs(ranges - down)
+    border |= np.isfinite(jump_h) & (jump_h > border_threshold)
+    border |= np.isfinite(jump_v) & (jump_v > border_threshold)
+    # A pixel next to a missing return is also a border.
+    border |= valid & ~np.isfinite(right)
+    border |= valid & ~np.isfinite(down)
+
+    # 2. Surface-change score per pixel from the 3D covariance of the
+    # support window, masked to non-border stable pixels.
+    points = cloud.points
+    interest = np.zeros((rows, cols))
+    # Convert the metric support size to a pixel window per row block;
+    # use the median range for a single global window size (the scan's
+    # angular resolution is uniform).
+    finite = ranges[valid]
+    if len(finite) == 0:
+        return np.empty(0, dtype=np.int64)
+    typical_range = float(np.median(finite))
+    angular_step = 2.0 * np.pi / cols
+    window = max(1, int(round(support_size / max(typical_range * angular_step, 1e-6))))
+    window = min(window, 8)  # bound the cost on coarse images
+
+    for r in range(rows):
+        for c in range(cols):
+            if not valid[r, c] or border[r, c]:
+                continue
+            r0, r1 = max(0, r - window), min(rows, r + window + 1)
+            cs = [(c + dc) % cols for dc in range(-window, window + 1)]
+            patch_idx = image.point_index[r0:r1, cs]
+            members = patch_idx[patch_idx >= 0]
+            if len(members) < 5:
+                continue
+            neighborhood = points[members]
+            centered = neighborhood - neighborhood.mean(axis=0)
+            covariance = centered.T @ centered / len(members)
+            eigenvalues = np.linalg.eigvalsh(covariance)
+            total = eigenvalues.sum()
+            if total <= 1e-12:
+                continue
+            surface_change = float(eigenvalues[0] / total)
+            near_border = bool(border[r0:r1, cs].any())
+            interest[r, c] = surface_change * (2.0 if near_border else 1.0)
+
+    # 3. Threshold + greedy image-space non-maximum suppression.
+    candidates = np.argwhere(interest > interest_threshold)
+    if len(candidates) == 0:
+        return np.empty(0, dtype=np.int64)
+    scores = interest[candidates[:, 0], candidates[:, 1]]
+    order = np.argsort(-scores, kind="stable")
+    kept: list[int] = []
+    kept_pixels: list[tuple[int, int]] = []
+    for rank in order:
+        r, c = candidates[rank]
+        if any(
+            abs(r - kr) <= window and _wrap_dist(c, kc, cols) <= window
+            for kr, kc in kept_pixels
+        ):
+            continue
+        kept.append(int(image.point_index[r, c]))
+        kept_pixels.append((int(r), int(c)))
+        if max_keypoints is not None and len(kept) >= max_keypoints:
+            break
+    return np.array(sorted(kept), dtype=np.int64)
+
+
+def _wrap_dist(a: int, b: int, period: int) -> int:
+    """Circular distance between two column indices."""
+    d = abs(int(a) - int(b))
+    return min(d, period - d)

@@ -1,0 +1,332 @@
+"""The configurable point cloud registration pipeline (paper Fig. 2).
+
+Two phases: **initial estimation** (normal estimation -> key-point
+detection -> descriptor calculation -> KPCE -> correspondence rejection)
+produces a coarse transform from sparse salient points; **fine-tuning**
+(ICP: RPCE <-> transformation estimation) iterates on all raw points
+until convergence.  Every algorithmic and parametric knob of the paper's
+Table 1 is a field of :class:`PipelineConfig`, which is what makes the
+design-space exploration of Sec. 3.2 possible.
+
+The pipeline is also the instrumentation harness: per-stage wall time
+(Fig. 4a), KD-tree search/construction time (Fig. 4b), per-stage search
+work counters (the accelerator workload), and per-stage error injectors
+(Fig. 7) all hang off the same ``register`` call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.approx import ApproximateSearch
+from repro.io.pointcloud import PointCloud
+from repro.kdtree.stats import SearchStats
+from repro.profiling.timer import StageProfiler
+from repro.registration.correspondence import (
+    KPCEConfig,
+    estimate_feature_correspondences,
+)
+from repro.registration.descriptors import DescriptorConfig, compute_descriptors
+from repro.registration.icp import ICPConfig, ICPResult, icp
+from repro.registration.keypoints import KeypointConfig, detect_keypoints
+from repro.registration.normals import NormalEstimationConfig, estimate_normals
+from repro.registration.rejection import RejectionConfig, reject_correspondences
+from repro.registration.search import (
+    NeighborSearcher,
+    SearchConfig,
+    build_searcher,
+)
+
+__all__ = ["PipelineConfig", "RegistrationResult", "Pipeline", "STAGE_NAMES"]
+
+# The seven key stages of Fig. 4a, in pipeline order.
+STAGE_NAMES = (
+    "Normal Estimation",
+    "Key-point Detection",
+    "Descriptor Calculation",
+    "KPCE",
+    "Correspondence Rejection",
+    "RPCE",
+    "Error Minimization",
+)
+
+
+@dataclass
+class PipelineConfig:
+    """Every design knob of Table 1, plus engineering controls.
+
+    ``search`` selects the neighbor-search backend for the 3D stages
+    (NE, keypoints, descriptors, RPCE).  With ``backend="approximate"``
+    the approximation applies only to the dense stages — NE and RPCE —
+    as the paper prescribes (Sec. 4.2: sparse KPCE is error-sensitive);
+    keypoint detection and descriptors fall back to exact search on the
+    same two-stage tree.
+
+    ``injectors`` maps stage names (``"Normal Estimation"``, ``"RPCE"``,
+    ``"KPCE"``) to error injectors for the Fig. 7 study.
+
+    ``voxel_downsample`` optionally reduces both clouds before any
+    processing — an engineering control for test runtimes, not a paper
+    knob.
+    """
+
+    normals: NormalEstimationConfig = field(default_factory=NormalEstimationConfig)
+    keypoints: KeypointConfig = field(default_factory=KeypointConfig)
+    descriptor: DescriptorConfig = field(default_factory=DescriptorConfig)
+    kpce: KPCEConfig = field(default_factory=KPCEConfig)
+    rejection: RejectionConfig = field(default_factory=RejectionConfig)
+    icp: ICPConfig = field(default_factory=ICPConfig)
+    search: SearchConfig = field(default_factory=SearchConfig)
+    injectors: dict = field(default_factory=dict)
+    voxel_downsample: float | None = None
+    skip_initial_estimation: bool = False
+
+
+@dataclass
+class RegistrationResult:
+    """Everything a ``register`` call produced.
+
+    ``transformation`` maps source-frame coordinates into the target
+    frame (the matrix M of paper Eq. 1).
+    """
+
+    transformation: np.ndarray
+    initial_transformation: np.ndarray
+    icp: ICPResult
+    profiler: StageProfiler
+    stage_stats: dict[str, SearchStats]
+    n_source_keypoints: int = 0
+    n_target_keypoints: int = 0
+    n_feature_correspondences: int = 0
+    n_inlier_correspondences: int = 0
+    success: bool = True
+
+    @property
+    def total_search_stats(self) -> SearchStats:
+        """All search work across stages, merged."""
+        total = SearchStats()
+        for stats in self.stage_stats.values():
+            total.merge(stats)
+        return total
+
+    def summary(self) -> str:
+        """Human-readable account of the registration run."""
+        work = self.total_search_stats
+        fractions = self.profiler.kdtree_fractions()
+        lines = [
+            f"registration {'succeeded' if self.success else 'FAILED'} "
+            f"in {self.profiler.total:.2f} s",
+            f"  initial estimation: {self.n_source_keypoints}/"
+            f"{self.n_target_keypoints} keypoints, "
+            f"{self.n_feature_correspondences} matches, "
+            f"{self.n_inlier_correspondences} inliers",
+            f"  fine-tuning: {self.icp!r}",
+            f"  search work: {work.nodes_visited:,} node visits over "
+            f"{work.queries:,} queries "
+            f"({100 * fractions['search']:.0f} % of runtime)",
+        ]
+        return "\n".join(lines)
+
+
+class Pipeline:
+    """A configured registration pipeline; reusable across frame pairs."""
+
+    def __init__(self, config: PipelineConfig | None = None):
+        self.config = config or PipelineConfig()
+
+    def register(
+        self,
+        source: PointCloud,
+        target: PointCloud,
+        initial: np.ndarray | None = None,
+        profiler: StageProfiler | None = None,
+    ) -> RegistrationResult:
+        """Estimate the transform aligning ``source`` onto ``target``.
+
+        ``initial``, if given, seeds the fine-tuning phase directly and
+        the initial-estimation phase is skipped (as is also the case
+        with ``config.skip_initial_estimation``).
+        """
+        config = self.config
+        profiler = profiler or StageProfiler()
+        stage_stats = {name: SearchStats() for name in STAGE_NAMES}
+
+        if config.voxel_downsample is not None:
+            source = source.voxel_downsample(config.voxel_downsample)
+            target = target.voxel_downsample(config.voxel_downsample)
+        if len(source) == 0 or len(target) == 0:
+            raise ValueError("cannot register empty point clouds")
+
+        # ------------------------------------------------------------------
+        # Shared search structures.  One tree per cloud, built up front;
+        # stage-specific wrappers share it but charge their own stats.
+        # ------------------------------------------------------------------
+        with profiler.stage("Normal Estimation"):
+            source_base = build_searcher(
+                source.points, config.search, profiler,
+                stage_stats["Normal Estimation"],
+            )
+            target_base = build_searcher(
+                target.points, config.search, profiler,
+                stage_stats["Normal Estimation"],
+            )
+
+        approximate = config.search.backend == "approximate"
+
+        def exact_index(base: NeighborSearcher):
+            index = base.index
+            return index.tree if isinstance(index, ApproximateSearch) else index
+
+        def stage_searcher(base, stage, exact=False, fresh_approx=False):
+            index = base.index
+            if exact:
+                index = exact_index(base)
+            elif fresh_approx and isinstance(index, ApproximateSearch):
+                index = ApproximateSearch(index.tree, config.search.approx)
+            return NeighborSearcher(
+                index,
+                stage_stats[stage],
+                0.0,
+                profiler=profiler,
+                injector=config.injectors.get(stage),
+            )
+
+        # ------------------------------------------------------------------
+        # Stage 1: Normal Estimation (dense; approximate-eligible).
+        # ------------------------------------------------------------------
+        with profiler.stage("Normal Estimation"):
+            source = estimate_normals(
+                source,
+                stage_searcher(source_base, "Normal Estimation", fresh_approx=True),
+                config.normals,
+            )
+            target = estimate_normals(
+                target,
+                stage_searcher(target_base, "Normal Estimation", fresh_approx=True),
+                config.normals,
+            )
+
+        initial_transform = np.eye(4)
+        n_source_kp = n_target_kp = 0
+        n_feature_corr = n_inliers = 0
+
+        run_initial = initial is None and not config.skip_initial_estimation
+        if initial is not None:
+            initial_transform = np.array(initial, dtype=np.float64)
+
+        if run_initial:
+            # --------------------------------------------------------------
+            # Stage 2: Key-point Detection (exact search).
+            # --------------------------------------------------------------
+            with profiler.stage("Key-point Detection"):
+                source_kp = detect_keypoints(
+                    source,
+                    stage_searcher(source_base, "Key-point Detection", exact=True),
+                    config.keypoints,
+                )
+                target_kp = detect_keypoints(
+                    target,
+                    stage_searcher(target_base, "Key-point Detection", exact=True),
+                    config.keypoints,
+                )
+            n_source_kp, n_target_kp = len(source_kp), len(target_kp)
+
+            # --------------------------------------------------------------
+            # Stage 3: Descriptor Calculation (exact search).
+            # --------------------------------------------------------------
+            with profiler.stage("Descriptor Calculation"):
+                source_features = compute_descriptors(
+                    source,
+                    stage_searcher(source_base, "Descriptor Calculation", exact=True),
+                    source_kp,
+                    config.descriptor,
+                )
+                target_features = compute_descriptors(
+                    target,
+                    stage_searcher(target_base, "Descriptor Calculation", exact=True),
+                    target_kp,
+                    config.descriptor,
+                )
+
+            # --------------------------------------------------------------
+            # Stage 4: KPCE — feature-space matching (sparse, exact).
+            # --------------------------------------------------------------
+            with profiler.stage("KPCE"):
+                kpce_config = config.kpce
+                if (
+                    config.rejection.ratio_threshold is not None
+                    and not kpce_config.with_second
+                ):
+                    kpce_config = KPCEConfig(
+                        reciprocal=kpce_config.reciprocal,
+                        backend=kpce_config.backend,
+                        with_second=True,
+                    )
+                feature_corr = estimate_feature_correspondences(
+                    source_features,
+                    target_features,
+                    kpce_config,
+                    profiler=profiler,
+                    stats=stage_stats["KPCE"],
+                    injector=config.injectors.get("KPCE"),
+                )
+            n_feature_corr = len(feature_corr)
+
+            # --------------------------------------------------------------
+            # Stage 5: Correspondence Rejection -> initial transform.
+            # --------------------------------------------------------------
+            with profiler.stage("Correspondence Rejection"):
+                # Feature rows -> 3D keypoint positions.
+                mapped = feature_corr.select(np.arange(len(feature_corr)))
+                mapped.source_indices = source_kp[feature_corr.source_indices]
+                mapped.target_indices = target_kp[feature_corr.target_indices]
+                rejection = reject_correspondences(
+                    mapped, source.points, target.points, config.rejection
+                )
+            n_inliers = len(rejection.correspondences)
+            if n_inliers >= 3:
+                initial_transform = rejection.transformation
+
+        # ------------------------------------------------------------------
+        # Fine-tuning: ICP (RPCE dense; approximate-eligible).
+        # ------------------------------------------------------------------
+        def rpce_searcher_factory():
+            return stage_searcher(target_base, "RPCE", fresh_approx=True)
+
+        icp_result = icp(
+            source,
+            target,
+            rpce_searcher_factory(),
+            config.icp,
+            initial=initial_transform,
+            profiler=profiler,
+            searcher_factory=rpce_searcher_factory if approximate else None,
+        )
+
+        success = icp_result.n_correspondences >= 6 and np.all(
+            np.isfinite(icp_result.transformation)
+        )
+        return RegistrationResult(
+            transformation=icp_result.transformation,
+            initial_transformation=initial_transform,
+            icp=icp_result,
+            profiler=profiler,
+            stage_stats=stage_stats,
+            n_source_keypoints=n_source_kp,
+            n_target_keypoints=n_target_kp,
+            n_feature_correspondences=n_feature_corr,
+            n_inlier_correspondences=n_inliers,
+            success=success,
+        )
+
+
+def register_pair(
+    source: PointCloud,
+    target: PointCloud,
+    config: PipelineConfig | None = None,
+    initial: np.ndarray | None = None,
+) -> RegistrationResult:
+    """One-shot convenience: configure, run, return the result."""
+    return Pipeline(config).register(source, target, initial=initial)

@@ -1,0 +1,209 @@
+"""Correspondence rejection (pipeline stage 5, paper Sec. 3.1).
+
+Removes incorrect key-point correspondences before the initial
+transformation is estimated.  Algorithm choices per Table 1: simple
+distance thresholding and the classic RANSAC [19]; we additionally
+provide Lowe's ratio test (the Table-1 "ratio threshold" knob) and
+one-to-one de-duplication, both standard PCL rejectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import se3
+from repro.registration.correspondence import Correspondences
+from repro.registration.estimation import kabsch
+
+__all__ = [
+    "RejectionConfig",
+    "reject_correspondences",
+    "reject_distance",
+    "reject_ratio",
+    "reject_one_to_one",
+    "reject_ransac",
+    "RansacResult",
+]
+
+
+@dataclass(frozen=True)
+class RejectionConfig:
+    """Rejector choice + thresholds (Table 1 knobs).
+
+    ``method``
+        ``"threshold"`` applies the distance (and optional ratio)
+        thresholds only; ``"ransac"`` additionally runs RANSAC and
+        keeps its inlier set.
+    ``distance_threshold``
+        Maximum allowed *match* distance (feature-space units for KPCE
+        output); ``None`` disables.
+    ``ratio_threshold``
+        Lowe's best/second-best ratio; ``None`` disables.  Requires the
+        correspondences to carry ``second_distances``.
+    ``ransac_threshold``
+        3D inlier distance for RANSAC (meters).
+    """
+
+    method: str = "ransac"
+    distance_threshold: float | None = None
+    ratio_threshold: float | None = None
+    one_to_one: bool = True
+    ransac_threshold: float = 0.5
+    ransac_iterations: int = 200
+    ransac_seed: int = 0
+
+    def __post_init__(self):
+        if self.method not in ("threshold", "ransac"):
+            raise ValueError("method must be 'threshold' or 'ransac'")
+        if self.ransac_threshold <= 0:
+            raise ValueError("ransac_threshold must be positive")
+        if self.ransac_iterations < 1:
+            raise ValueError("ransac_iterations must be >= 1")
+
+
+@dataclass
+class RansacResult:
+    """RANSAC output: surviving inliers and the model they support."""
+
+    correspondences: Correspondences
+    transformation: np.ndarray
+    inlier_ratio: float
+
+
+def reject_distance(
+    correspondences: Correspondences, threshold: float
+) -> Correspondences:
+    """Drop pairs whose match distance exceeds ``threshold``."""
+    return correspondences.select(correspondences.distances <= threshold)
+
+
+def reject_ratio(
+    correspondences: Correspondences, ratio: float
+) -> Correspondences:
+    """Lowe's ratio test: best must beat second-best by ``ratio``."""
+    if correspondences.second_distances is None:
+        raise ValueError(
+            "ratio rejection needs second_distances; run KPCE with with_second"
+        )
+    seconds = np.maximum(correspondences.second_distances, 1e-12)
+    return correspondences.select(correspondences.distances / seconds <= ratio)
+
+
+def reject_one_to_one(correspondences: Correspondences) -> Correspondences:
+    """Keep only the closest source match for every target point."""
+    if len(correspondences) == 0:
+        return correspondences
+    order = np.argsort(correspondences.distances, kind="stable")
+    seen: set[int] = set()
+    keep_rows = []
+    for row in order:
+        target = int(correspondences.target_indices[row])
+        if target in seen:
+            continue
+        seen.add(target)
+        keep_rows.append(row)
+    return correspondences.select(np.sort(np.array(keep_rows, dtype=np.int64)))
+
+
+def reject_ransac(
+    correspondences: Correspondences,
+    source_points: np.ndarray,
+    target_points: np.ndarray,
+    threshold: float = 0.5,
+    iterations: int = 200,
+    seed: int = 0,
+) -> RansacResult:
+    """Classic RANSAC over correspondences [19].
+
+    Repeatedly samples 3 pairs, fits a rigid transform (Kabsch), and
+    counts inliers within ``threshold``; the best model is refit on its
+    full inlier set.  ``source_points`` / ``target_points`` are the 3D
+    positions the correspondence indices refer to.
+    """
+    n = len(correspondences)
+    if n < 3:
+        return RansacResult(correspondences, np.eye(4), 0.0)
+    rng = np.random.default_rng(seed)
+    src = np.asarray(source_points, dtype=np.float64)[correspondences.source_indices]
+    tgt = np.asarray(target_points, dtype=np.float64)[correspondences.target_indices]
+
+    best_inliers: np.ndarray | None = None
+    best_count = -1
+    for _ in range(iterations):
+        sample = rng.choice(n, size=3, replace=False)
+        if _degenerate(src[sample]):
+            continue
+        model = kabsch(src[sample], tgt[sample])
+        residuals = np.linalg.norm(se3.apply_transform(model, src) - tgt, axis=1)
+        inliers = residuals < threshold
+        count = int(inliers.sum())
+        if count > best_count:
+            best_count = count
+            best_inliers = inliers
+
+    if best_inliers is None or best_count < 3:
+        return RansacResult(correspondences.select(np.zeros(n, dtype=bool)), np.eye(4), 0.0)
+    transformation = kabsch(src[best_inliers], tgt[best_inliers])
+    # One re-scoring pass with the refit model tightens the inlier set.
+    residuals = np.linalg.norm(se3.apply_transform(transformation, src) - tgt, axis=1)
+    final_inliers = residuals < threshold
+    if final_inliers.sum() >= 3:
+        transformation = kabsch(src[final_inliers], tgt[final_inliers])
+    else:
+        final_inliers = best_inliers
+    return RansacResult(
+        correspondences.select(final_inliers),
+        transformation,
+        float(final_inliers.sum()) / n,
+    )
+
+
+def reject_correspondences(
+    correspondences: Correspondences,
+    source_points: np.ndarray,
+    target_points: np.ndarray,
+    config: RejectionConfig | None = None,
+) -> RansacResult:
+    """Apply the configured rejection cascade.
+
+    Always returns a :class:`RansacResult`; for the plain threshold
+    method the transformation is fit with Kabsch on the survivors.
+    """
+    config = config or RejectionConfig()
+    current = correspondences
+    if config.distance_threshold is not None:
+        current = reject_distance(current, config.distance_threshold)
+    if config.ratio_threshold is not None and current.second_distances is not None:
+        current = reject_ratio(current, config.ratio_threshold)
+    if config.one_to_one:
+        current = reject_one_to_one(current)
+
+    if config.method == "ransac":
+        return reject_ransac(
+            current,
+            source_points,
+            target_points,
+            threshold=config.ransac_threshold,
+            iterations=config.ransac_iterations,
+            seed=config.ransac_seed,
+        )
+    if len(current) >= 3:
+        src = np.asarray(source_points)[current.source_indices]
+        tgt = np.asarray(target_points)[current.target_indices]
+        transformation = kabsch(src, tgt)
+        inlier_ratio = 1.0 if len(correspondences) == 0 else len(current) / len(
+            correspondences
+        )
+    else:
+        transformation = np.eye(4)
+        inlier_ratio = 0.0
+    return RansacResult(current, transformation, inlier_ratio)
+
+
+def _degenerate(points: np.ndarray, tol: float = 1e-6) -> bool:
+    """Whether 3 sample points are (nearly) collinear."""
+    v1 = points[1] - points[0]
+    v2 = points[2] - points[0]
+    return float(np.linalg.norm(np.cross(v1, v2))) < tol

@@ -1,0 +1,213 @@
+"""Neighbor-search backends for the registration pipeline.
+
+Every shaded stage in paper Fig. 2 (Normal Estimation, Descriptor
+Calculation, KPCE, RPCE) funnels its neighbor queries through this
+module.  A :class:`NeighborSearcher` wraps one of three backends —
+canonical KD-tree, two-stage KD-tree, or the approximate
+leaders/followers search — behind one interface, and transparently:
+
+* accumulates :class:`~repro.kdtree.stats.SearchStats` (work counts for
+  the accelerator model and Fig. 6);
+* charges wall time to the active :class:`~repro.profiling.StageProfiler`
+  (the Fig. 4b KD-tree vs. other split);
+* optionally applies an error injector (Fig. 7's k-th NN and shell
+  radius studies).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.approx import ApproximateSearch, ApproximateSearchConfig
+from repro.core.twostage import TwoStageKDTree
+from repro.kdtree.stats import SearchStats
+from repro.kdtree.tree import KDTree
+from repro.profiling.timer import StageProfiler
+
+__all__ = ["SearchConfig", "NeighborSearcher", "build_searcher"]
+
+_BACKENDS = ("canonical", "twostage", "approximate", "bruteforce")
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """How a pipeline stage performs its neighbor searches.
+
+    ``backend``
+        ``"canonical"`` — classic KD-tree (the paper's baseline);
+        ``"twostage"`` — exact search on the two-stage structure (the
+        accelerator's data layout; also the fastest exact option here
+        because leaf scans vectorize);
+        ``"approximate"`` — two-stage with leaders/followers;
+        ``"bruteforce"`` — exhaustive scan (used for high-dimensional
+        feature spaces where KD-trees degrade).
+    ``leaf_size``
+        Target leaf-set size for the two-stage backends (the paper's
+        sweep parameter in Fig. 6; ~128 at the design point).
+    ``approx``
+        Thresholds for the approximate backend.
+    """
+
+    backend: str = "twostage"
+    leaf_size: int = 64
+    split_rule: str = "widest"
+    approx: ApproximateSearchConfig = field(default_factory=ApproximateSearchConfig)
+
+    def __post_init__(self):
+        if self.backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}")
+        if self.leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+
+
+class _BruteForceIndex:
+    """Adapter giving the brute-force scan the tree-search interface."""
+
+    def __init__(self, points: np.ndarray):
+        self._points = np.array(points, dtype=np.float64)
+        if len(self._points) == 0:
+            raise ValueError("cannot search an empty point set")
+
+    @property
+    def points(self) -> np.ndarray:
+        return self._points
+
+    def _charge(self, stats: SearchStats | None, results: int) -> None:
+        if stats is not None:
+            stats.nodes_visited += len(self._points)
+            stats.queries += 1
+            stats.results_returned += results
+
+    def nn(self, query, stats=None):
+        diff = self._points - np.asarray(query, dtype=np.float64)
+        sq = np.einsum("ij,ij->i", diff, diff)
+        best = int(np.argmin(sq))
+        self._charge(stats, 1)
+        return best, float(np.sqrt(sq[best]))
+
+    def knn(self, query, k, stats=None):
+        diff = self._points - np.asarray(query, dtype=np.float64)
+        sq = np.einsum("ij,ij->i", diff, diff)
+        k = min(k, len(sq))
+        top = np.argpartition(sq, k - 1)[:k] if k < len(sq) else np.arange(len(sq))
+        order = top[np.argsort(sq[top], kind="stable")]
+        self._charge(stats, k)
+        return order.astype(np.int64), np.sqrt(sq[order])
+
+    def radius(self, query, r, stats=None, sort=False):
+        diff = self._points - np.asarray(query, dtype=np.float64)
+        sq = np.einsum("ij,ij->i", diff, diff)
+        mask = sq <= r * r
+        indices = np.nonzero(mask)[0].astype(np.int64)
+        dists = np.sqrt(sq[mask])
+        self._charge(stats, len(indices))
+        if sort and len(indices):
+            order = np.argsort(dists, kind="stable")
+            return indices[order], dists[order]
+        return indices, dists
+
+
+class NeighborSearcher:
+    """Uniform, instrumented query interface over any backend.
+
+    All pipeline stages call :meth:`nn`, :meth:`knn`, and :meth:`radius`
+    here; the wrapper forwards to the backend, times the call, and
+    accumulates work counters.  An injector (see
+    :mod:`repro.registration.error_injection`) may post-process results.
+    """
+
+    def __init__(
+        self,
+        index,
+        stats: SearchStats,
+        build_time: float,
+        profiler: StageProfiler | None = None,
+        injector=None,
+    ):
+        self._index = index
+        self.stats = stats
+        self.build_time = build_time
+        self._profiler = profiler
+        self._injector = injector
+
+    @property
+    def index(self):
+        """The underlying search structure."""
+        return self._index
+
+    @property
+    def points(self) -> np.ndarray:
+        if isinstance(self._index, ApproximateSearch):
+            return self._index.tree.points
+        return self._index.points
+
+    def nn(self, query: np.ndarray) -> tuple[int, float]:
+        start = time.perf_counter()
+        if self._injector is not None:
+            result = self._injector.nn(self._index, query, self.stats)
+        else:
+            result = self._index.nn(query, self.stats)
+        if self._profiler is not None:
+            self._profiler.charge_search(time.perf_counter() - start)
+        return result
+
+    def knn(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        start = time.perf_counter()
+        if self._injector is not None:
+            result = self._injector.knn(self._index, query, k, self.stats)
+        else:
+            result = self._index.knn(query, k, self.stats)
+        if self._profiler is not None:
+            self._profiler.charge_search(time.perf_counter() - start)
+        return result
+
+    def radius(
+        self, query: np.ndarray, r: float, sort: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        start = time.perf_counter()
+        if self._injector is not None:
+            result = self._injector.radius(self._index, query, r, self.stats, sort)
+        else:
+            result = self._index.radius(query, r, self.stats, sort=sort)
+        if self._profiler is not None:
+            self._profiler.charge_search(time.perf_counter() - start)
+        return result
+
+
+def build_searcher(
+    points: np.ndarray,
+    config: SearchConfig | None = None,
+    profiler: StageProfiler | None = None,
+    stats: SearchStats | None = None,
+    injector=None,
+) -> NeighborSearcher:
+    """Construct the configured search structure over ``points``.
+
+    Build time is charged to the profiler's active stage as KD-tree
+    construction (the middle band of Fig. 4b).
+    """
+    config = config or SearchConfig()
+    stats = stats if stats is not None else SearchStats()
+    start = time.perf_counter()
+    if config.backend == "canonical":
+        index = KDTree(points, split_rule=config.split_rule)
+    elif config.backend == "twostage":
+        index = TwoStageKDTree.from_leaf_size(
+            points, config.leaf_size, split_rule=config.split_rule
+        )
+    elif config.backend == "approximate":
+        tree = TwoStageKDTree.from_leaf_size(
+            points, config.leaf_size, split_rule=config.split_rule
+        )
+        index = ApproximateSearch(tree, config.approx)
+    else:
+        index = _BruteForceIndex(points)
+    build_time = time.perf_counter() - start
+    if profiler is not None:
+        profiler.charge_construction(build_time)
+    return NeighborSearcher(
+        index, stats, build_time, profiler=profiler, injector=injector
+    )

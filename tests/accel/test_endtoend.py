@@ -1,0 +1,78 @@
+"""Unit tests for the end-to-end speedup/power coupling."""
+
+import pytest
+
+from repro.accel import EndToEndModel, SystemPhase, amdahl_speedup
+
+
+class TestAmdahl:
+    def test_no_acceleration(self):
+        assert amdahl_speedup(0.5, 1.0) == pytest.approx(1.0)
+
+    def test_full_fraction(self):
+        assert amdahl_speedup(1.0, 10.0) == pytest.approx(10.0)
+
+    def test_paper_dp7_magnitude(self):
+        """~60-80 % search fraction at ~77x search speedup gives the
+        paper's ~1.4-1.7x (41.7 %) end-to-end improvement band... for
+        fractions around 0.3-0.45 of *end-to-end GPU-system* time."""
+        # 41.7% speedup = 1.417x overall => f/(1 - 1/1.417) with s→inf
+        # means f ≈ 0.294 of the baseline was search time on the GPU.
+        speedup = amdahl_speedup(0.30, 77.2)
+        assert 1.35 < speedup < 1.45
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(1.5, 2.0)
+        with pytest.raises(ValueError):
+            amdahl_speedup(0.5, 0.0)
+
+
+class TestSystemPhase:
+    def test_energy(self):
+        assert SystemPhase(2.0, 10.0).joules == pytest.approx(20.0)
+
+
+class TestEndToEndModel:
+    def test_phase_split(self):
+        model = EndToEndModel(kdtree_fraction=0.6, baseline_total_seconds=10.0)
+        assert model.baseline_search_seconds == pytest.approx(6.0)
+        assert model.other_seconds == pytest.approx(4.0)
+
+    def test_infinite_speedup_bounded_by_amdahl(self):
+        model = EndToEndModel(kdtree_fraction=0.6, baseline_total_seconds=10.0)
+        speedup, _ = model.speedup_over_baseline(
+            search_speedup=1e9,
+            baseline_search_watts=185.0,
+            accelerated_search_watts=25.0,
+        )
+        assert speedup == pytest.approx(1.0 / 0.4, rel=1e-3)
+
+    def test_speedup_matches_amdahl(self):
+        model = EndToEndModel(kdtree_fraction=0.55, baseline_total_seconds=3.0)
+        speedup, _ = model.speedup_over_baseline(77.2, 185.0, 27.0)
+        assert speedup == pytest.approx(amdahl_speedup(0.55, 77.2), rel=1e-9)
+
+    def test_power_reduction_direction(self):
+        model = EndToEndModel(kdtree_fraction=0.6, baseline_total_seconds=10.0)
+        _, power_reduction = model.speedup_over_baseline(77.0, 185.0, 27.0)
+        assert power_reduction > 1.0
+
+    def test_paper_band(self):
+        """With a Fig. 4b-style fraction and Fig. 11 speedup, the
+        end-to-end gains land in the paper's ballpark (1.4x / ~3x)."""
+        model = EndToEndModel(kdtree_fraction=0.55, baseline_total_seconds=1.5)
+        speedup, power_reduction = model.speedup_over_baseline(
+            77.2, 185.0, 27.0
+        )
+        assert 1.5 < speedup < 2.5
+        assert 1.5 < power_reduction < 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EndToEndModel(kdtree_fraction=0.0, baseline_total_seconds=1.0)
+        with pytest.raises(ValueError):
+            EndToEndModel(kdtree_fraction=0.5, baseline_total_seconds=0.0)
+        model = EndToEndModel(kdtree_fraction=0.5, baseline_total_seconds=1.0)
+        with pytest.raises(ValueError):
+            model.system(-1.0, 10.0)

@@ -1,0 +1,106 @@
+"""Unit tests for the energy and area models."""
+
+import pytest
+
+from repro.accel import (
+    AcceleratorConfig,
+    AreaParameters,
+    EnergyParameters,
+    TrafficCounters,
+    estimate_area,
+    estimate_energy,
+)
+
+
+class TestTrafficCounters:
+    def test_merge(self):
+        a = TrafficCounters(points_buffer=10, query_stack=5)
+        b = TrafficCounters(points_buffer=3, dram=7)
+        a.merge(b)
+        assert a.points_buffer == 13
+        assert a.query_stack == 5
+        assert a.dram == 7
+
+    def test_distribution_sums_to_one(self):
+        traffic = TrafficCounters(
+            fe_query_queue=10, query_buffer=20, query_stack=30,
+            points_buffer=25, node_cache=5, be_query_buffer=5, result_buffer=5,
+        )
+        distribution = traffic.distribution()
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_empty_distribution(self):
+        assert TrafficCounters().distribution() == {}
+
+    def test_reads_writes_split(self):
+        traffic = TrafficCounters(query_stack=100)
+        reads, writes = traffic.reads_writes("query_stack")
+        assert reads + writes == 100
+        assert writes == 50  # stacks are half push, half pop
+
+    def test_query_buffer_is_read_only(self):
+        traffic = TrafficCounters(query_buffer=40)
+        reads, writes = traffic.reads_writes("query_buffer")
+        assert reads == 40
+        assert writes == 0
+
+
+class TestEnergyModel:
+    def test_zero_activity_zero_dynamic(self):
+        breakdown = estimate_energy(
+            TrafficCounters(), 0, 0.0, AcceleratorConfig()
+        )
+        assert breakdown.pe_compute == 0.0
+        assert breakdown.sram_read == 0.0
+        assert breakdown.total == 0.0
+
+    def test_compute_scales_linearly(self):
+        config = AcceleratorConfig()
+        one = estimate_energy(TrafficCounters(), 1000, 0.0, config)
+        two = estimate_energy(TrafficCounters(), 2000, 0.0, config)
+        assert two.pe_compute == pytest.approx(2 * one.pe_compute)
+
+    def test_leakage_scales_with_time(self):
+        config = AcceleratorConfig()
+        short = estimate_energy(TrafficCounters(), 0, 1e-3, config)
+        long = estimate_energy(TrafficCounters(), 0, 2e-3, config)
+        assert long.leakage == pytest.approx(2 * short.leakage)
+
+    def test_fractions_sum_to_one(self):
+        traffic = TrafficCounters(
+            points_buffer=1000, query_stack=500, result_buffer=200, dram=50
+        )
+        breakdown = estimate_energy(traffic, 5000, 1e-5, AcceleratorConfig())
+        assert sum(breakdown.fractions().values()) == pytest.approx(1.0)
+
+    def test_custom_parameters(self):
+        params = EnergyParameters(distance_computation_pj=1000.0)
+        breakdown = estimate_energy(
+            TrafficCounters(), 100, 0.0, AcceleratorConfig(), params
+        )
+        assert breakdown.pe_compute == pytest.approx(100 * 1000e-12)
+
+
+class TestAreaModel:
+    def test_paper_design_point(self):
+        """Sec. 6.2: 8.38 mm^2 SRAM + 7.19 mm^2 logic, 53.8 % / 46.2 %."""
+        report = estimate_area(AcceleratorConfig())
+        assert report.sram_mm2 == pytest.approx(8.38, rel=0.01)
+        assert report.logic_mm2 == pytest.approx(7.19, rel=0.01)
+        assert report.sram_fraction == pytest.approx(0.538, abs=0.005)
+        assert report.logic_fraction == pytest.approx(0.462, abs=0.005)
+
+    def test_logic_scales_with_units(self):
+        small = estimate_area(AcceleratorConfig(n_search_units=16, pes_per_su=16))
+        large = estimate_area(AcceleratorConfig(n_search_units=64, pes_per_su=64))
+        assert large.logic_mm2 > small.logic_mm2
+
+    def test_sram_scales_with_buffers(self):
+        small = estimate_area(AcceleratorConfig(result_buffer_kb=1024.0))
+        large = estimate_area(AcceleratorConfig(result_buffer_kb=4096.0))
+        assert large.sram_mm2 > small.sram_mm2
+
+    def test_custom_parameters(self):
+        params = AreaParameters(sram_mm2_per_kb=0.001, datapath_mm2_per_unit=0.01)
+        report = estimate_area(AcceleratorConfig(), params)
+        assert report.total_mm2 > 0

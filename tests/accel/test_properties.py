@@ -1,0 +1,108 @@
+"""Property-based tests for the accelerator model invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import (
+    AcceleratorConfig,
+    BackEndConfig,
+    FrontEndConfig,
+    TigrisSimulator,
+    build_workload,
+)
+
+
+@st.composite
+def workload_and_config(draw):
+    seed = draw(st.integers(0, 1000))
+    rng = np.random.default_rng(seed)
+    n = draw(st.integers(10, 150))
+    n_queries = draw(st.integers(1, 40))
+    points = rng.normal(size=(n, 3)) * 4.0
+    queries = rng.normal(size=(n_queries, 3)) * 4.0
+    kind = draw(st.sampled_from(["nn", "radius"]))
+    leaf_size = draw(st.sampled_from([1, 4, 16, 64]))
+    workload = build_workload(
+        points, queries, kind=kind, radius=1.0, leaf_size=leaf_size
+    )
+    config = AcceleratorConfig(
+        n_recursion_units=draw(st.sampled_from([1, 8, 64])),
+        n_search_units=draw(st.sampled_from([1, 8, 32])),
+        pes_per_su=draw(st.sampled_from([1, 8, 32])),
+        frontend=FrontEndConfig(
+            bypassing=draw(st.booleans()), forwarding=draw(st.booleans())
+        ),
+        backend=BackEndConfig(
+            scheduling=draw(st.sampled_from(["mqsn", "mqmn"])),
+            node_cache_entries=draw(st.sampled_from([0, 4, 16])),
+        ),
+    )
+    return workload, config
+
+
+@given(data=workload_and_config())
+@settings(max_examples=20)
+def test_simulation_invariants(data):
+    """For any workload and any hardware configuration:
+    time/energy/power positive; cycles bounded below by busy work per
+    unit; utilizations in (0, 1]."""
+    workload, config = data
+    result = TigrisSimulator(config).simulate(workload)
+    assert result.cycles > 0
+    assert result.time_seconds > 0
+    assert result.energy_joules > 0
+    assert result.power_watts > 0
+    fe = result.frontend
+    assert fe.cycles * config.n_recursion_units >= fe.busy_cycles
+    assert 0 <= fe.utilization <= 1.0
+    be = result.backend
+    assert 0 <= be.utilization <= 1.0
+    assert result.cycles >= max(fe.cycles, be.cycles)
+
+
+@given(data=workload_and_config())
+@settings(max_examples=15)
+def test_traffic_conservation(data):
+    """Node-stream traffic either hits the cache or the points buffer —
+    the total is invariant to the cache size."""
+    workload, config = data
+    with_cache = TigrisSimulator(config).simulate(workload)
+    no_cache_config = AcceleratorConfig(
+        n_recursion_units=config.n_recursion_units,
+        n_search_units=config.n_search_units,
+        pes_per_su=config.pes_per_su,
+        frontend=config.frontend,
+        backend=BackEndConfig(
+            scheduling=config.backend.scheduling, node_cache_entries=0
+        ),
+    )
+    without_cache = TigrisSimulator(no_cache_config).simulate(workload)
+    assert (
+        with_cache.traffic.points_buffer + with_cache.traffic.node_cache
+        == without_cache.traffic.points_buffer + without_cache.traffic.node_cache
+    )
+
+
+@given(data=workload_and_config())
+@settings(max_examples=15)
+def test_energy_fractions_partition(data):
+    workload, config = data
+    result = TigrisSimulator(config).simulate(workload)
+    fractions = result.energy.fractions()
+    assert abs(sum(fractions.values()) - 1.0) < 1e-9
+    assert all(v >= 0 for v in fractions.values())
+
+
+@given(seed=st.integers(0, 100))
+@settings(max_examples=10)
+def test_determinism(seed):
+    """Identical workloads and configs must simulate identically."""
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(100, 3))
+    queries = rng.normal(size=(20, 3))
+    workload = build_workload(points, queries, kind="nn", leaf_size=16)
+    a = TigrisSimulator().simulate(workload)
+    b = TigrisSimulator().simulate(workload)
+    assert a.cycles == b.cycles
+    assert a.energy_joules == b.energy_joules

@@ -1,0 +1,140 @@
+"""Unit + behaviour tests for the full Tigris simulator and baselines."""
+
+import numpy as np
+import pytest
+
+from repro.accel import (
+    AcceleratorConfig,
+    CPUModel,
+    GPUModel,
+    TigrisSimulator,
+    build_workload,
+)
+from repro.core import ApproximateSearchConfig
+
+
+@pytest.fixture(scope="module")
+def scene_workloads():
+    rng = np.random.default_rng(4)
+    points = rng.normal(size=(500, 3)) * 5.0
+    queries = rng.normal(size=(200, 3)) * 5.0
+    two_stage = build_workload(points, queries, kind="nn", leaf_size=64,
+                               name="2skd")
+    canonical = build_workload(points, queries, kind="nn", leaf_size=1,
+                               name="kd")
+    return two_stage, canonical
+
+
+class TestSimulator:
+    def test_result_fields_consistent(self, scene_workloads):
+        two_stage, _ = scene_workloads
+        result = TigrisSimulator().simulate(two_stage)
+        assert result.cycles > 0
+        assert result.time_seconds == pytest.approx(
+            result.cycles * 2e-9  # 500 MHz
+        )
+        assert result.energy_joules > 0
+        assert result.power_watts > 0
+        assert result.bound in ("frontend", "backend")
+
+    def test_cycles_at_least_slower_half(self, scene_workloads):
+        two_stage, _ = scene_workloads
+        result = TigrisSimulator().simulate(two_stage)
+        assert result.cycles >= max(result.frontend.cycles, result.backend.cycles)
+
+    def test_canonical_tree_is_frontend_bound(self, scene_workloads):
+        """Paper Sec. 6.3: Acc-KD is bottlenecked by the recursive
+        top-tree search while the SUs sit nearly idle."""
+        _, canonical = scene_workloads
+        result = TigrisSimulator().simulate(canonical)
+        assert result.bound == "frontend"
+        assert result.backend.cycles < result.frontend.cycles / 2
+
+    def test_two_stage_beats_canonical_on_accelerator(self, scene_workloads):
+        """The co-design argument: the accelerator needs the two-stage
+        structure to use its back-end."""
+        two_stage, canonical = scene_workloads
+        simulator = TigrisSimulator()
+        fast = simulator.simulate(two_stage)
+        slow = simulator.simulate(canonical)
+        assert fast.time_seconds < slow.time_seconds
+
+    def test_approximate_reduces_time_and_energy(self):
+        rng = np.random.default_rng(5)
+        points = rng.normal(size=(500, 3)) * 5.0
+        # One warm-up pass establishes leaders; later passes follow.
+        queries = np.tile(points[:100], (4, 1))
+        exact = build_workload(points, queries, kind="nn", leaf_size=64)
+        approx = build_workload(
+            points, queries, kind="nn", leaf_size=64,
+            approx=ApproximateSearchConfig(),
+        )
+        simulator = TigrisSimulator()
+        exact_result = simulator.simulate(exact)
+        approx_result = simulator.simulate(approx)
+        assert approx_result.time_seconds <= exact_result.time_seconds
+        assert approx_result.energy_joules < exact_result.energy_joules
+
+    def test_simulate_many_sums(self, scene_workloads):
+        two_stage, canonical = scene_workloads
+        simulator = TigrisSimulator()
+        combined = simulator.simulate_many([two_stage, canonical])
+        separate = simulator.simulate(two_stage), simulator.simulate(canonical)
+        assert combined.cycles == separate[0].cycles + separate[1].cycles
+        assert combined.energy_joules == pytest.approx(
+            separate[0].energy_joules + separate[1].energy_joules
+        )
+
+    def test_simulate_many_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TigrisSimulator().simulate_many([])
+
+    def test_more_hardware_is_faster(self, scene_workloads):
+        two_stage, _ = scene_workloads
+        small = TigrisSimulator(
+            AcceleratorConfig(n_recursion_units=16, n_search_units=4, pes_per_su=4)
+        ).simulate(two_stage)
+        large = TigrisSimulator(
+            AcceleratorConfig(n_recursion_units=64, n_search_units=32, pes_per_su=32)
+        ).simulate(two_stage)
+        assert large.time_seconds < small.time_seconds
+
+
+class TestBaselines:
+    def test_cpu_time_proportional_to_work(self, scene_workloads):
+        two_stage, canonical = scene_workloads
+        cpu = CPUModel()
+        t1 = cpu.run(canonical).time_seconds
+        t2 = cpu.run(two_stage).time_seconds
+        ratio = t2 / t1
+        expected = two_stage.total_nodes_visited / canonical.total_nodes_visited
+        assert ratio == pytest.approx(expected, rel=1e-6)
+
+    def test_gpu_two_stage_faster_than_canonical(self, scene_workloads):
+        """Paper Sec. 6.3: Base-2SKD is ~28 % faster than Base-KD on the
+        GPU — coalesced leaf scans beat divergent traversal."""
+        two_stage, canonical = scene_workloads
+        gpu = GPUModel()
+        assert gpu.run(two_stage).time_seconds < gpu.run(canonical).time_seconds
+
+    def test_gpu_faster_than_cpu(self, scene_workloads):
+        """Paper Sec. 6.1: GPU KD-tree search is ~8-20x the CPU's."""
+        _, canonical = scene_workloads
+        speedup = (
+            CPUModel().run(canonical).time_seconds
+            / GPUModel().run(canonical).time_seconds
+        )
+        assert 4.0 < speedup < 40.0
+
+    def test_accelerator_beats_gpu(self, scene_workloads):
+        two_stage, _ = scene_workloads
+        accelerator = TigrisSimulator().simulate(two_stage)
+        gpu = GPUModel().run(two_stage)
+        assert accelerator.time_seconds < gpu.time_seconds
+        assert accelerator.power_watts < gpu.power_watts
+
+    def test_device_report_energy(self):
+        from repro.accel import DeviceReport
+
+        report = DeviceReport(name="x", time_seconds=2.0, power_watts=10.0)
+        assert report.energy_joules == pytest.approx(20.0)

@@ -1,0 +1,96 @@
+"""Unit tests for the hardware and top-height sweep drivers."""
+
+import numpy as np
+import pytest
+
+from repro.accel import (
+    build_workload,
+    sweep_hardware,
+    sweep_top_height,
+)
+
+
+@pytest.fixture(scope="module")
+def small_workloads():
+    rng = np.random.default_rng(6)
+    points = rng.normal(size=(300, 3)) * 4.0
+    queries = rng.normal(size=(60, 3)) * 4.0
+    return [build_workload(points, queries, kind="nn", leaf_size=16)]
+
+
+class TestHardwareSweep:
+    def test_grid_size(self, small_workloads):
+        sweep = sweep_hardware(
+            small_workloads,
+            ru_values=(8, 32),
+            su_values=(8, 32),
+            pe_values=(8, 32),
+        )
+        assert len(sweep.results) == 8
+
+    def test_best_is_minimum_time(self, small_workloads):
+        sweep = sweep_hardware(
+            small_workloads, ru_values=(8, 64), su_values=(8,), pe_values=(8,)
+        )
+        _, best = sweep.best()
+        assert best.time_seconds == min(
+            r.time_seconds for r in sweep.results.values()
+        )
+
+    def test_pareto_nonempty_and_non_dominated(self, small_workloads):
+        sweep = sweep_hardware(
+            small_workloads,
+            ru_values=(8, 32),
+            su_values=(8, 32),
+            pe_values=(8,),
+        )
+        frontier = sweep.pareto()
+        assert frontier
+        for key in frontier:
+            mine = sweep.results[key]
+            for other in sweep.results.values():
+                if other is mine:
+                    continue
+                assert not (
+                    other.time_seconds < mine.time_seconds
+                    and other.power_watts < mine.power_watts
+                )
+
+    def test_table_contains_all_configs(self, small_workloads):
+        sweep = sweep_hardware(
+            small_workloads, ru_values=(8,), su_values=(8,), pe_values=(8, 16)
+        )
+        text = sweep.table()
+        assert "8" in text and "16" in text
+
+
+class TestHeightSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        rng = np.random.default_rng(7)
+        source = rng.normal(size=(250, 3)) * 4.0
+        target = rng.normal(size=(250, 3)) * 4.0
+        return sweep_top_height(
+            source, target, heights=(1, 3, 5, 7), icp_iterations=1,
+            normal_radius=0.8,
+        )
+
+    def test_all_heights_present(self, sweep):
+        assert set(sweep.results) == {1, 3, 5, 7}
+
+    def test_optimal_is_minimum(self, sweep):
+        best = sweep.optimal_height
+        assert sweep.results[best].time_seconds == min(
+            r.time_seconds for r in sweep.results.values()
+        )
+
+    def test_extremes_bound_behaviour(self, sweep):
+        # Height 1: huge leaf sets -> backend-bound.
+        assert sweep.results[1].bound == "backend"
+        # Height 7 on 250 points: leaf ~2 -> frontend-bound.
+        assert sweep.results[7].bound == "frontend"
+
+    def test_table_format(self, sweep):
+        text = sweep.table()
+        assert "height" in text
+        assert "bound" in text

@@ -1,0 +1,40 @@
+"""Unit tests for the query-trace records."""
+
+from repro.core import LeafVisitRecord, QueryTrace
+
+
+class TestLeafVisitRecord:
+    def test_defaults(self):
+        visit = LeafVisitRecord(leaf_id=3)
+        assert visit.leaf_id == 3
+        assert visit.scanned == 0
+        assert not visit.approximate
+        assert not visit.pruned
+        assert not visit.became_leader
+
+
+class TestQueryTrace:
+    def test_empty_trace_counts(self):
+        trace = QueryTrace()
+        assert trace.nodes_visited == 0
+        assert trace.leaf_scanned == 0
+        assert trace.leader_checks == 0
+        assert trace.active_leaf_visits == []
+
+    def test_aggregations(self):
+        trace = QueryTrace(toptree_visits=5, toptree_bypassed=2, stack_pushes=9)
+        trace.leaf_visits = [
+            LeafVisitRecord(leaf_id=0, scanned=10, leader_checks=2),
+            LeafVisitRecord(leaf_id=1, scanned=4),
+            LeafVisitRecord(leaf_id=2, pruned=True),
+        ]
+        assert trace.leaf_scanned == 14
+        assert trace.leader_checks == 2
+        assert trace.nodes_visited == 5 + 14
+        assert len(trace.active_leaf_visits) == 2
+
+    def test_pruned_visits_excluded_from_active(self):
+        trace = QueryTrace()
+        trace.leaf_visits = [LeafVisitRecord(leaf_id=0, pruned=True)]
+        assert trace.active_leaf_visits == []
+        assert trace.nodes_visited == 0

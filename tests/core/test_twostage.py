@@ -1,0 +1,205 @@
+"""Unit tests for the two-stage KD-tree data structure."""
+
+import numpy as np
+import pytest
+
+from repro.core import TwoStageKDTree
+from repro.kdtree import SearchStats, bruteforce
+
+
+@pytest.fixture
+def points(rng):
+    return rng.normal(size=(256, 3))
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TwoStageKDTree(np.empty((0, 3)), top_height=2)
+
+    def test_rejects_negative_height(self, points):
+        with pytest.raises(ValueError):
+            TwoStageKDTree(points, top_height=-1)
+
+    def test_rejects_nan(self):
+        bad = np.zeros((4, 3))
+        bad[0, 0] = np.inf
+        with pytest.raises(ValueError):
+            TwoStageKDTree(bad, top_height=1)
+
+    def test_height_zero_single_leaf(self, points):
+        tree = TwoStageKDTree(points, top_height=0)
+        assert tree.n_top_nodes == 0
+        assert tree.n_leaf_sets == 1
+        assert tree.leaf_set_sizes[0] == len(points)
+
+    def test_top_tree_node_count(self, points):
+        tree = TwoStageKDTree(points, top_height=3)
+        # Perfectly balanced: 2^3 - 1 internal nodes, up to 2^3 leaf sets.
+        assert tree.n_top_nodes == 7
+        assert tree.n_leaf_sets <= 8
+
+    def test_leaf_sets_partition_points(self, points):
+        tree = TwoStageKDTree(points, top_height=3)
+        all_members = np.concatenate(
+            [tree.leaf_set_indices(i) for i in range(tree.n_leaf_sets)]
+        )
+        # Leaf sets plus top-tree nodes cover every point exactly once.
+        assert len(all_members) == len(points) - tree.n_top_nodes
+        assert len(set(all_members.tolist())) == len(all_members)
+
+    def test_mean_leaf_size_shrinks_with_height(self, points):
+        shallow = TwoStageKDTree(points, top_height=2)
+        deep = TwoStageKDTree(points, top_height=5)
+        assert deep.mean_leaf_size < shallow.mean_leaf_size
+
+    def test_from_leaf_size_targets_size(self, points):
+        tree = TwoStageKDTree.from_leaf_size(points, leaf_size=32)
+        assert 16 <= tree.mean_leaf_size <= 64
+
+    def test_from_leaf_size_one_is_canonical_like(self, points):
+        tree = TwoStageKDTree.from_leaf_size(points, leaf_size=1)
+        assert tree.mean_leaf_size <= 2.0
+
+    def test_from_leaf_size_rejects_zero(self, points):
+        with pytest.raises(ValueError):
+            TwoStageKDTree.from_leaf_size(points, leaf_size=0)
+
+    def test_height_beyond_log_n(self, points):
+        # A top-tree taller than log2(n) degenerates gracefully.
+        tree = TwoStageKDTree(points, top_height=20)
+        idx, dist = tree.nn(points[0])
+        assert dist == pytest.approx(0.0, abs=1e-12)
+
+    def test_repr(self, points):
+        text = repr(TwoStageKDTree(points, top_height=3))
+        assert "top_height=3" in text
+
+
+class TestScanLeaf:
+    def test_scan_returns_squared_distances(self, points):
+        tree = TwoStageKDTree(points, top_height=2)
+        query = points[0]
+        indices, sq = tree.scan_leaf(0, query)
+        members = tree.leaf_set_indices(0)
+        assert np.array_equal(np.sort(indices), members)  # members are sorted
+        expected = np.sum((points[indices] - query) ** 2, axis=1)
+        assert np.allclose(sq, expected)
+
+
+class TestQueries:
+    @pytest.mark.parametrize("top_height", [0, 1, 3, 6])
+    def test_nn_matches_bruteforce(self, points, rng, top_height):
+        tree = TwoStageKDTree(points, top_height=top_height)
+        for query in rng.normal(size=(20, 3)):
+            idx, dist = tree.nn(query)
+            _, bf_dist = bruteforce.nn(points, query)
+            assert dist == pytest.approx(bf_dist, abs=1e-9)
+
+    @pytest.mark.parametrize("top_height", [0, 2, 5])
+    def test_radius_matches_bruteforce(self, points, rng, top_height):
+        tree = TwoStageKDTree(points, top_height=top_height)
+        for query in rng.normal(size=(10, 3)):
+            indices, _ = tree.radius(query, 0.9)
+            bf_indices, _ = bruteforce.radius(points, query, 0.9)
+            assert set(indices.tolist()) == set(bf_indices.tolist())
+
+    @pytest.mark.parametrize("top_height", [0, 2, 5])
+    def test_knn_matches_bruteforce(self, points, rng, top_height):
+        tree = TwoStageKDTree(points, top_height=top_height)
+        for query in rng.normal(size=(10, 3)):
+            _, dists = tree.knn(query, 7)
+            _, bf_dists = bruteforce.knn(points, query, 7)
+            assert np.allclose(dists, bf_dists, atol=1e-9)
+
+    def test_radius_sorted(self, points, rng):
+        tree = TwoStageKDTree(points, top_height=3)
+        _, dists = tree.radius(rng.normal(size=3), 1.5, sort=True)
+        assert np.all(np.diff(dists) >= 0)
+
+    def test_validation(self, points):
+        tree = TwoStageKDTree(points, top_height=3)
+        with pytest.raises(ValueError):
+            tree.nn([1.0, 2.0])
+        with pytest.raises(ValueError):
+            tree.radius(np.zeros(3), -0.5)
+        with pytest.raises(ValueError):
+            tree.knn(np.zeros(3), 0)
+
+    def test_batches(self, points, rng):
+        tree = TwoStageKDTree(points, top_height=3)
+        queries = rng.normal(size=(8, 3))
+        indices, dists = tree.nn_batch(queries)
+        assert len(indices) == 8
+        radius_indices, _ = tree.radius_batch(queries, 0.8)
+        assert len(radius_indices) == 8
+        knn_indices, _ = tree.knn_batch(queries, 4)
+        assert len(knn_indices) == 8
+
+
+class TestRedundancy:
+    """The defining property of Fig. 6: parallelism costs node visits."""
+
+    def test_shorter_top_tree_visits_more_nodes(self, points, rng):
+        queries = rng.normal(size=(30, 3))
+        visits = {}
+        for height in (1, 3, 6):
+            tree = TwoStageKDTree(points, top_height=height)
+            stats = SearchStats()
+            tree.nn_batch(queries, stats)
+            visits[height] = stats.nodes_visited
+        assert visits[1] > visits[3] > visits[6]
+
+    def test_height_zero_visits_everything(self, points, rng):
+        tree = TwoStageKDTree(points, top_height=0)
+        stats = SearchStats()
+        tree.nn(rng.normal(size=3), stats)
+        assert stats.nodes_visited == len(points)
+
+    def test_nn_redundancy_grows_faster_than_radius(self, points, rng):
+        """Paper Fig. 6a: NN search suffers more from exhaustive leaves
+        than radius search because it prunes better in the classic tree."""
+        queries = rng.normal(size=(30, 3))
+        r = 0.9
+
+        def visits(height, kind):
+            tree = TwoStageKDTree(points, top_height=height)
+            stats = SearchStats()
+            if kind == "nn":
+                tree.nn_batch(queries, stats)
+            else:
+                tree.radius_batch(queries, r, stats)
+            return stats.nodes_visited
+
+        deep_nn, shallow_nn = visits(6, "nn"), visits(1, "nn")
+        deep_r, shallow_r = visits(6, "radius"), visits(1, "radius")
+        nn_redundancy = shallow_nn / deep_nn
+        radius_redundancy = shallow_r / deep_r
+        assert nn_redundancy > radius_redundancy
+
+
+class TestTraces:
+    def test_trace_counts_match_stats(self, points, rng):
+        tree = TwoStageKDTree(points, top_height=3)
+        stats = SearchStats()
+        traces = []
+        for query in rng.normal(size=(10, 3)):
+            tree.nn(query, stats, traces)
+        assert len(traces) == 10
+        assert sum(t.nodes_visited for t in traces) == stats.nodes_visited
+
+    def test_trace_leaf_visits_have_valid_ids(self, points, rng):
+        tree = TwoStageKDTree(points, top_height=3)
+        traces = []
+        tree.nn(rng.normal(size=3), trace=traces)
+        for visit in traces[0].leaf_visits:
+            assert 0 <= visit.leaf_id < tree.n_leaf_sets
+
+    def test_pruned_leaf_visits_do_no_work(self, points, rng):
+        tree = TwoStageKDTree(points, top_height=4)
+        traces = []
+        tree.nn_batch(rng.normal(size=(20, 3)), trace=traces)
+        for trace in traces:
+            for visit in trace.leaf_visits:
+                if visit.pruned:
+                    assert visit.scanned == 0

@@ -1,0 +1,72 @@
+"""Tests for the DSE driver (kept small: two cheap configs, one pair)."""
+
+import pytest
+
+from repro.dse import ExplorationReport, evaluate_config, explore
+from repro.registration import (
+    ICPConfig,
+    KeypointConfig,
+    PipelineConfig,
+    RPCEConfig,
+)
+
+
+def cheap_config(max_iterations: int) -> PipelineConfig:
+    return PipelineConfig(
+        keypoints=KeypointConfig(
+            method="uniform", params={"voxel_size": 3.0}, min_keypoints=8
+        ),
+        icp=ICPConfig(
+            rpce=RPCEConfig(max_distance=1.5), max_iterations=max_iterations
+        ),
+        voxel_downsample=1.2,
+        skip_initial_estimation=True,
+    )
+
+
+class TestEvaluateConfig:
+    def test_result_fields(self, lidar_sequence):
+        result = evaluate_config(
+            "quick", cheap_config(5), lidar_sequence, max_pairs=1
+        )
+        assert result.name == "quick"
+        assert result.time > 0
+        assert result.translational_error >= 0
+        assert result.rotational_error >= 0
+        assert "profiler" in result.detail
+        assert "kdtree_fractions" in result.detail
+
+    def test_stage_fractions_sum_to_one(self, lidar_sequence):
+        result = evaluate_config(
+            "quick", cheap_config(3), lidar_sequence, max_pairs=1
+        )
+        total = sum(result.detail["stage_fractions"].values())
+        assert total == pytest.approx(1.0)
+
+    def test_more_iterations_cost_more_time(self, lidar_sequence):
+        fast = evaluate_config("fast", cheap_config(2), lidar_sequence, max_pairs=1)
+        slow = evaluate_config("slow", cheap_config(20), lidar_sequence, max_pairs=1)
+        assert slow.time > fast.time
+
+
+class TestExplore:
+    def test_report_structure(self, lidar_sequence):
+        report = explore(
+            {"fast": cheap_config(2), "slow": cheap_config(10)},
+            lidar_sequence,
+            max_pairs=1,
+        )
+        assert isinstance(report, ExplorationReport)
+        assert len(report.results) == 2
+        assert 1 <= len(report.translational_frontier) <= 2
+        assert 1 <= len(report.rotational_frontier) <= 2
+
+    def test_summary_mentions_all(self, lidar_sequence):
+        report = explore(
+            {"fast": cheap_config(2), "slow": cheap_config(10)},
+            lidar_sequence,
+            max_pairs=1,
+        )
+        text = report.summary()
+        assert "fast" in text
+        assert "slow" in text

@@ -1,0 +1,57 @@
+"""Unit tests for the parametric sweep grid."""
+
+import pytest
+
+from repro.dse import SweepSpec, default_sweep, parameter_grid
+from repro.registration import PipelineConfig
+
+
+class TestSweepSpec:
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep knob"):
+            SweepSpec(bogus_knob=[1, 2])
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            SweepSpec(normal_radius=[])
+
+    def test_default_sweep_is_valid(self):
+        spec = default_sweep()
+        assert len(spec) == 3
+
+
+class TestParameterGrid:
+    def test_cartesian_product_size(self):
+        spec = SweepSpec(
+            normal_radius=[0.3, 0.6], icp_max_iterations=[5, 10, 20]
+        )
+        points = list(parameter_grid(spec))
+        assert len(points) == 6
+
+    def test_configs_reflect_assignment(self):
+        spec = SweepSpec(normal_radius=[0.3, 0.9])
+        configs = dict(parameter_grid(spec))
+        radii = sorted(c.normals.radius for c in configs.values())
+        assert radii == [0.3, 0.9]
+
+    def test_names_are_unique_and_traceable(self):
+        points = list(parameter_grid(default_sweep()))
+        names = [name for name, _ in points]
+        assert len(set(names)) == len(names)
+        assert all("nr=" in name and "em=" in name for name in names)
+
+    def test_all_configs_valid(self):
+        for _, config in parameter_grid(default_sweep()):
+            assert isinstance(config, PipelineConfig)
+            assert config.icp.max_iterations in (8, 20)
+
+    def test_algorithmic_knobs(self):
+        spec = SweepSpec(
+            keypoint_method=["uniform", "harris"],
+            descriptor_method=["fpfh", "shot"],
+            rejection_method=["threshold", "ransac"],
+        )
+        points = list(parameter_grid(spec))
+        assert len(points) == 8
+        methods = {c.keypoints.method for _, c in points}
+        assert methods == {"uniform", "harris"}

@@ -1,0 +1,88 @@
+"""Unit + property tests for Pareto-frontier extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dse import DesignPointResult, is_dominated, pareto_frontier
+
+
+def point(name, time, trans, rot=0.0):
+    return DesignPointResult(
+        name=name, time=time, translational_error=trans, rotational_error=rot
+    )
+
+
+class TestDomination:
+    def test_strictly_better_dominates(self):
+        a = point("a", 1.0, 0.1)
+        b = point("b", 2.0, 0.2)
+        assert is_dominated(b, [a, b])
+        assert not is_dominated(a, [a, b])
+
+    def test_tradeoff_points_coexist(self):
+        fast_bad = point("fast", 1.0, 0.5)
+        slow_good = point("slow", 5.0, 0.1)
+        assert not is_dominated(fast_bad, [fast_bad, slow_good])
+        assert not is_dominated(slow_good, [fast_bad, slow_good])
+
+    def test_equal_points_do_not_dominate(self):
+        a = point("a", 1.0, 0.1)
+        b = point("b", 1.0, 0.1)
+        assert not is_dominated(a, [a, b])
+        assert not is_dominated(b, [a, b])
+
+
+class TestFrontier:
+    def test_known_frontier(self):
+        results = [
+            point("a", 1.0, 0.5),
+            point("b", 2.0, 0.3),
+            point("c", 3.0, 0.4),  # dominated by b
+            point("d", 4.0, 0.1),
+        ]
+        frontier = pareto_frontier(results)
+        assert [r.name for r in frontier] == ["a", "b", "d"]
+
+    def test_sorted_by_time(self):
+        results = [point("a", 3.0, 0.1), point("b", 1.0, 0.5)]
+        frontier = pareto_frontier(results)
+        assert frontier[0].time <= frontier[1].time
+
+    def test_different_axes_different_frontiers(self):
+        results = [
+            point("a", 1.0, trans=0.5, rot=0.01),
+            point("b", 2.0, trans=0.1, rot=0.5),
+        ]
+        trans_frontier = pareto_frontier(results, "translational_error")
+        rot_frontier = pareto_frontier(results, "rotational_error")
+        assert {r.name for r in trans_frontier} == {"a", "b"}
+        assert {r.name for r in rot_frontier} == {"a"}
+
+    def test_empty(self):
+        assert pareto_frontier([]) == []
+
+    def test_invalid_time_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_frontier([point("a", -1.0, 0.1)])
+        with pytest.raises(ValueError):
+            pareto_frontier([point("a", np.nan, 0.1)])
+
+    @given(
+        times=st.lists(st.floats(0.01, 100, allow_nan=False), min_size=1, max_size=30),
+        errors=st.lists(st.floats(0.0, 10, allow_nan=False), min_size=1, max_size=30),
+    )
+    def test_frontier_properties(self, times, errors):
+        n = min(len(times), len(errors))
+        results = [point(f"p{i}", times[i], errors[i]) for i in range(n)]
+        frontier = pareto_frontier(results)
+        # Non-empty: the minimum-error point is never dominated.
+        assert len(frontier) >= 1
+        # No frontier point dominates another frontier point.
+        for candidate in frontier:
+            assert not is_dominated(candidate, frontier)
+        # Along the frontier, time increases and error decreases.
+        for first, second in zip(frontier, frontier[1:]):
+            assert first.time <= second.time
+            assert first.translational_error >= second.translational_error

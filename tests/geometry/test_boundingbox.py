@@ -1,0 +1,93 @@
+"""Unit and property tests for axis-aligned bounding boxes."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.geometry import AABB
+
+finite_points = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(1, 30), st.just(3)),
+    elements=st.floats(-1e3, 1e3, allow_nan=False),
+)
+
+
+class TestConstruction:
+    def test_of_points_is_tight(self):
+        points = np.array([[0, 0, 0], [1, 2, 3], [-1, 5, 0.5]])
+        box = AABB.of_points(points)
+        assert np.array_equal(box.lo, [-1, 0, 0])
+        assert np.array_equal(box.hi, [1, 5, 3])
+
+    def test_of_points_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AABB.of_points(np.empty((0, 3)))
+
+    def test_infinite_contains_everything(self, rng):
+        box = AABB.infinite(3)
+        for point in rng.normal(scale=1e6, size=(5, 3)):
+            assert box.contains(point)
+            assert box.sq_distance_to(point) == 0.0
+
+    def test_ndim(self):
+        assert AABB.infinite(5).ndim == 5
+
+
+class TestQueries:
+    def test_contains_boundary(self):
+        box = AABB(np.zeros(3), np.ones(3))
+        assert box.contains([0, 0, 0])
+        assert box.contains([1, 1, 1])
+        assert not box.contains([1.0001, 0.5, 0.5])
+
+    def test_sq_distance_inside_is_zero(self):
+        box = AABB(np.zeros(3), np.ones(3))
+        assert box.sq_distance_to([0.5, 0.5, 0.5]) == 0.0
+
+    def test_sq_distance_axis_aligned(self):
+        box = AABB(np.zeros(3), np.ones(3))
+        assert box.sq_distance_to([2.0, 0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_sq_distance_corner(self):
+        box = AABB(np.zeros(3), np.ones(3))
+        assert box.sq_distance_to([2.0, 2.0, 2.0]) == pytest.approx(3.0)
+
+    def test_sphere_intersection(self):
+        box = AABB(np.zeros(3), np.ones(3))
+        assert box.intersects_sphere(np.array([2.0, 0.5, 0.5]), 1.0)
+        assert not box.intersects_sphere(np.array([2.0, 0.5, 0.5]), 0.99)
+
+    @given(points=finite_points)
+    def test_all_points_inside_own_box(self, points):
+        box = AABB.of_points(points)
+        for point in points:
+            assert box.contains(point)
+            assert box.sq_distance_to(point) == 0.0
+
+
+class TestSplit:
+    def test_split_partitions(self):
+        box = AABB(np.zeros(3), np.ones(3))
+        left, right = box.split(dim=0, value=0.25)
+        assert left.hi[0] == 0.25
+        assert right.lo[0] == 0.25
+        assert left.contains([0.2, 0.5, 0.5])
+        assert not left.contains([0.3, 0.5, 0.5])
+        assert right.contains([0.3, 0.5, 0.5])
+
+    def test_split_distance_never_decreases(self, rng):
+        box = AABB(np.zeros(3), np.ones(3))
+        left, right = box.split(1, 0.5)
+        for point in rng.uniform(-2, 3, size=(30, 3)):
+            parent = box.sq_distance_to(point)
+            assert left.sq_distance_to(point) >= parent - 1e-12
+            assert right.sq_distance_to(point) >= parent - 1e-12
+
+    def test_split_children_cover_parent(self, rng):
+        box = AABB(np.zeros(3), np.ones(3))
+        left, right = box.split(2, 0.7)
+        for point in rng.uniform(0, 1, size=(30, 3)):
+            assert left.contains(point) or right.contains(point)

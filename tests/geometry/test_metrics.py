@@ -1,0 +1,135 @@
+"""Unit tests for the KITTI-style registration metrics."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import metrics, se3
+
+
+def straight_trajectory(n: int, step: float = 1.0) -> list[np.ndarray]:
+    return [se3.make_transform(np.eye(3), [i * step, 0, 0]) for i in range(n)]
+
+
+class TestPairErrors:
+    def test_exact_estimate_has_zero_error(self, rng):
+        gt = se3.random_transform(rng)
+        rot, trans = metrics.pair_errors(gt, gt)
+        # arccos-based angle extraction has ~sqrt(eps) precision at 0.
+        assert rot == pytest.approx(0.0, abs=1e-5)
+        assert trans == pytest.approx(0.0, abs=1e-12)
+
+    def test_translation_offset_reported_in_meters(self):
+        gt = se3.identity()
+        est = se3.make_transform(np.eye(3), [0.3, 0.4, 0.0])
+        rot, trans = metrics.pair_errors(est, gt)
+        assert trans == pytest.approx(0.5)
+        assert rot == pytest.approx(0.0, abs=1e-12)
+
+    def test_rotation_offset_reported_in_degrees(self):
+        est = se3.make_transform(se3.rot_z(np.radians(10)), [0, 0, 0])
+        rot, _ = metrics.pair_errors(est, se3.identity())
+        assert rot == pytest.approx(10.0)
+
+
+class TestTrajectories:
+    def test_chain_and_unchain_roundtrip(self, rng):
+        relatives = [se3.small_transform(rng, 0.1, 0.5) for _ in range(5)]
+        trajectory = metrics.trajectory_from_relative(relatives)
+        assert len(trajectory) == 6
+        recovered = metrics.relative_from_trajectory(trajectory)
+        for original, back in zip(relatives, recovered):
+            assert np.allclose(original, back, atol=1e-12)
+
+    def test_distances_accumulate(self):
+        trajectory = straight_trajectory(5, step=2.0)
+        distances = metrics.trajectory_distances(trajectory)
+        assert np.allclose(distances, [0, 2, 4, 6, 8])
+
+
+class TestSequenceErrors:
+    def test_perfect_odometry_scores_zero(self):
+        trajectory = straight_trajectory(50)
+        errors = metrics.kitti_sequence_errors(trajectory, trajectory)
+        assert errors.translational == pytest.approx(0.0, abs=1e-12)
+        assert errors.rotational == pytest.approx(0.0, abs=1e-12)
+
+    def test_constant_drift_scales_with_rate(self):
+        gt = straight_trajectory(60)
+        # Estimated trajectory drifts 2% along x (0.98 m per 1 m step).
+        est = [se3.make_transform(np.eye(3), [0.98 * i, 0, 0]) for i in range(60)]
+        errors = metrics.kitti_sequence_errors(est, gt)
+        assert errors.translational == pytest.approx(0.02, rel=1e-6)
+        assert errors.translational_percent == pytest.approx(2.0, rel=1e-6)
+
+    def test_rotational_drift_measured_per_meter(self):
+        n = 80
+        gt = straight_trajectory(n)
+        yaw_per_frame = np.radians(0.1)  # 0.1 deg per 1 m
+        est = [
+            se3.make_transform(se3.rot_z(yaw_per_frame * i), [i, 0, 0])
+            for i in range(n)
+        ]
+        errors = metrics.kitti_sequence_errors(est, gt)
+        assert errors.rotational == pytest.approx(0.1, rel=0.05)
+
+    def test_short_sequences_scale_ladder(self):
+        # 10 m long path, far below the 100 m KITTI lengths.
+        trajectory = straight_trajectory(11)
+        errors = metrics.kitti_sequence_errors(trajectory, trajectory)
+        assert errors.translational == pytest.approx(0.0, abs=1e-12)
+        assert len(errors.samples) > 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            metrics.kitti_sequence_errors(
+                straight_trajectory(3), straight_trajectory(4)
+            )
+
+    def test_single_pose_rejected(self):
+        single = straight_trajectory(1)
+        with pytest.raises(ValueError):
+            metrics.kitti_sequence_errors(single, single)
+
+    def test_stationary_trajectory_rejected(self):
+        still = [se3.identity() for _ in range(5)]
+        with pytest.raises(ValueError):
+            metrics.kitti_sequence_errors(still, still)
+
+    def test_error_bars_available(self):
+        gt = straight_trajectory(40)
+        rng = np.random.default_rng(0)
+        est = [
+            se3.make_transform(np.eye(3), [i + rng.normal(0, 0.01), 0, 0])
+            for i in range(40)
+        ]
+        errors = metrics.kitti_sequence_errors(est, gt)
+        assert errors.translational_std_percent() >= 0.0
+        assert len(errors.samples) > 1
+
+
+class TestPointMetrics:
+    def test_rmse_zero_for_identical(self, rng):
+        points = rng.normal(size=(20, 3))
+        assert metrics.rmse(points, points) == 0.0
+
+    def test_rmse_known_value(self):
+        a = np.zeros((4, 3))
+        b = np.tile([1.0, 0, 0], (4, 1))
+        assert metrics.rmse(a, b) == pytest.approx(1.0)
+
+    def test_rmse_empty(self):
+        empty = np.empty((0, 3))
+        assert metrics.rmse(empty, empty) == 0.0
+
+    def test_rmse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            metrics.rmse(np.zeros((3, 3)), np.zeros((4, 3)))
+
+    def test_fitness_counts_inliers(self):
+        a = np.zeros((4, 3))
+        b = np.array([[0.1, 0, 0], [0.2, 0, 0], [5.0, 0, 0], [0.05, 0, 0]])
+        assert metrics.fitness(a, b, inlier_threshold=0.5) == pytest.approx(0.75)
+
+    def test_fitness_empty_is_zero(self):
+        empty = np.empty((0, 3))
+        assert metrics.fitness(empty, empty, 1.0) == 0.0

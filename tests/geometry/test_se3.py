@@ -1,0 +1,200 @@
+"""Unit tests for SE(3) transform utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import se3
+
+angles = st.floats(-np.pi, np.pi, allow_nan=False)
+coords = st.floats(-100.0, 100.0, allow_nan=False)
+vectors = st.tuples(coords, coords, coords).map(np.array)
+
+
+class TestConstruction:
+    def test_identity_is_4x4_eye(self):
+        assert np.array_equal(se3.identity(), np.eye(4))
+
+    def test_make_transform_layout(self):
+        rotation = se3.rot_z(0.3)
+        transform = se3.make_transform(rotation, [1.0, 2.0, 3.0])
+        assert np.allclose(transform[:3, :3], rotation)
+        assert np.allclose(transform[:3, 3], [1.0, 2.0, 3.0])
+        assert np.allclose(transform[3], [0, 0, 0, 1])
+
+    def test_make_transform_rejects_bad_rotation_shape(self):
+        with pytest.raises(ValueError):
+            se3.make_transform(np.eye(2), [0, 0, 0])
+
+    def test_parts_roundtrip(self):
+        transform = se3.make_transform(se3.rot_x(0.5), [4, 5, 6])
+        assert np.allclose(se3.rotation_part(transform), se3.rot_x(0.5))
+        assert np.allclose(se3.translation_part(transform), [4, 5, 6])
+
+    def test_parts_return_copies(self):
+        transform = se3.identity()
+        se3.rotation_part(transform)[0, 0] = 99.0
+        se3.translation_part(transform)[0] = 99.0
+        assert np.array_equal(transform, np.eye(4))
+
+
+class TestApply:
+    def test_identity_leaves_points(self, rng):
+        points = rng.normal(size=(10, 3))
+        assert np.allclose(se3.apply_transform(se3.identity(), points), points)
+
+    def test_pure_translation(self):
+        transform = se3.make_transform(np.eye(3), [1, -2, 3])
+        moved = se3.apply_transform(transform, np.zeros((4, 3)))
+        assert np.allclose(moved, np.tile([1, -2, 3], (4, 1)))
+
+    def test_single_point_shape(self):
+        moved = se3.apply_transform(se3.identity(), np.array([1.0, 2.0, 3.0]))
+        assert moved.shape == (3,)
+
+    def test_rotation_preserves_norms(self, rng):
+        transform = se3.make_transform(se3.random_rotation(rng), [0, 0, 0])
+        points = rng.normal(size=(50, 3))
+        moved = se3.apply_transform(transform, points)
+        assert np.allclose(
+            np.linalg.norm(moved, axis=1), np.linalg.norm(points, axis=1)
+        )
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            se3.apply_transform(se3.identity(), np.zeros((3, 2)))
+
+
+class TestComposeInvert:
+    def test_compose_empty_is_identity(self):
+        assert np.array_equal(se3.compose(), np.eye(4))
+
+    def test_compose_order(self, rng):
+        a = se3.random_transform(rng)
+        b = se3.random_transform(rng)
+        point = rng.normal(size=3)
+        via_compose = se3.apply_transform(se3.compose(a, b), point)
+        via_sequence = se3.apply_transform(a, se3.apply_transform(b, point))
+        assert np.allclose(via_compose, via_sequence)
+
+    def test_invert_roundtrip(self, rng):
+        transform = se3.random_transform(rng)
+        assert np.allclose(
+            se3.compose(transform, se3.invert(transform)), np.eye(4), atol=1e-12
+        )
+        assert np.allclose(
+            se3.compose(se3.invert(transform), transform), np.eye(4), atol=1e-12
+        )
+
+    def test_invert_matches_numpy(self, rng):
+        transform = se3.random_transform(rng)
+        assert np.allclose(se3.invert(transform), np.linalg.inv(transform))
+
+
+class TestRotations:
+    @given(angle=angles)
+    def test_axis_rotations_are_valid(self, angle):
+        for rotation in (se3.rot_x(angle), se3.rot_y(angle), se3.rot_z(angle)):
+            assert se3.is_valid_rotation(rotation)
+
+    def test_rot_z_quarter_turn(self):
+        rotated = se3.rot_z(np.pi / 2) @ np.array([1.0, 0.0, 0.0])
+        assert np.allclose(rotated, [0, 1, 0], atol=1e-12)
+
+    @given(roll=angles, pitch=st.floats(-1.4, 1.4), yaw=angles)
+    def test_euler_roundtrip(self, roll, pitch, yaw):
+        rotation = se3.euler_to_rotation(roll, pitch, yaw)
+        r2, p2, y2 = se3.rotation_to_euler(rotation)
+        again = se3.euler_to_rotation(r2, p2, y2)
+        assert np.allclose(rotation, again, atol=1e-9)
+
+    def test_axis_angle_roundtrip(self, rng):
+        for _ in range(20):
+            axis = rng.normal(size=3)
+            angle = rng.uniform(0.01, np.pi - 0.01)
+            rotation = se3.axis_angle_to_rotation(axis, angle)
+            recovered_axis, recovered_angle = se3.rotation_to_axis_angle(rotation)
+            assert np.isclose(recovered_angle, angle, atol=1e-9)
+            unit_axis = axis / np.linalg.norm(axis)
+            assert np.allclose(recovered_axis, unit_axis, atol=1e-7)
+
+    def test_axis_angle_zero_axis_gives_identity(self):
+        assert np.allclose(se3.axis_angle_to_rotation([0, 0, 0], 1.0), np.eye(3))
+
+    def test_rotation_angle_of_identity_is_zero(self):
+        assert se3.rotation_angle(np.eye(3)) == 0.0
+
+    def test_rotation_angle_matches_construction(self):
+        assert np.isclose(se3.rotation_angle(se3.rot_y(0.7)), 0.7)
+
+    def test_near_pi_axis_angle(self):
+        rotation = se3.axis_angle_to_rotation([0, 0, 1], np.pi)
+        axis, angle = se3.rotation_to_axis_angle(rotation)
+        assert np.isclose(angle, np.pi, atol=1e-7)
+        assert np.allclose(np.abs(axis), [0, 0, 1], atol=1e-6)
+
+    def test_quaternion_roundtrip(self, rng):
+        for _ in range(20):
+            rotation = se3.random_rotation(rng)
+            quaternion = se3.rotation_to_quaternion(rotation)
+            assert np.isclose(np.linalg.norm(quaternion), 1.0)
+            assert quaternion[0] >= 0
+            assert np.allclose(se3.quaternion_to_rotation(quaternion), rotation)
+
+    def test_quaternion_rejects_zero(self):
+        with pytest.raises(ValueError):
+            se3.quaternion_to_rotation([0, 0, 0, 0])
+
+    def test_random_rotation_is_valid(self, rng):
+        for _ in range(10):
+            assert se3.is_valid_rotation(se3.random_rotation(rng))
+
+    def test_orthonormalize_fixes_drift(self, rng):
+        rotation = se3.random_rotation(rng) + rng.normal(scale=1e-4, size=(3, 3))
+        cleaned = se3.orthonormalize_rotation(rotation)
+        assert se3.is_valid_rotation(cleaned)
+
+    def test_orthonormalize_handles_reflection(self):
+        reflection = np.diag([1.0, 1.0, -1.0])
+        cleaned = se3.orthonormalize_rotation(reflection)
+        assert se3.is_valid_rotation(cleaned)
+
+
+class TestValidation:
+    def test_valid_transform_accepts_rigid(self, rng):
+        assert se3.is_valid_transform(se3.random_transform(rng))
+
+    def test_rejects_scaled_rotation(self):
+        assert not se3.is_valid_rotation(2.0 * np.eye(3))
+
+    def test_rejects_bad_bottom_row(self):
+        transform = se3.identity()
+        transform[3, 0] = 0.1
+        assert not se3.is_valid_transform(transform)
+
+    def test_rejects_wrong_shape(self):
+        assert not se3.is_valid_transform(np.eye(3))
+        assert not se3.is_valid_rotation(np.eye(4))
+
+
+class TestDistance:
+    def test_distance_to_self_is_zero(self, rng):
+        transform = se3.random_transform(rng)
+        rot, trans = se3.transform_distance(transform, transform)
+        # arccos((trace-1)/2) near angle 0 has ~sqrt(eps) precision.
+        assert rot == pytest.approx(0.0, abs=1e-6)
+        assert trans == pytest.approx(0.0, abs=1e-12)
+
+    def test_distance_pure_translation(self):
+        a = se3.identity()
+        b = se3.make_transform(np.eye(3), [3, 4, 0])
+        rot, trans = se3.transform_distance(a, b)
+        assert rot == pytest.approx(0.0, abs=1e-12)
+        assert trans == pytest.approx(5.0)
+
+    def test_small_transform_is_small(self, rng):
+        delta = se3.small_transform(rng, max_angle=0.01, max_translation=0.05)
+        rot, trans = se3.transform_distance(np.eye(4), delta)
+        assert rot <= 0.01 + 1e-9
+        assert trans <= 0.05 * np.sqrt(3) + 1e-9

@@ -1,0 +1,87 @@
+"""Tests for the synthetic sequence dataset."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import se3
+from repro.io import SyntheticSequence, default_test_model, make_sequence
+
+
+class TestMakeSequence:
+    def test_lengths_align(self):
+        sequence = make_sequence(n_frames=3, seed=0)
+        assert len(sequence) == 3
+        assert len(sequence.frames) == len(sequence.poses) == 3
+
+    def test_deterministic_per_seed(self):
+        a = make_sequence(n_frames=2, seed=42)
+        b = make_sequence(n_frames=2, seed=42)
+        assert len(a.frames[0]) == len(b.frames[0])
+        assert np.allclose(a.frames[0].points, b.frames[0].points)
+
+    def test_different_seeds_differ(self):
+        a = make_sequence(n_frames=1, seed=1)
+        b = make_sequence(n_frames=1, seed=2)
+        assert len(a.frames[0]) != len(b.frames[0]) or not np.allclose(
+            a.frames[0].points[:10], b.frames[0].points[:10]
+        )
+
+    def test_frames_have_lidar_channels(self):
+        sequence = make_sequence(n_frames=1, seed=0)
+        frame = sequence.frames[0]
+        assert frame.has_attribute("ring")
+        assert frame.has_attribute("azimuth")
+
+    def test_curved_trajectory_rotates(self):
+        sequence = make_sequence(n_frames=5, seed=0, yaw_rate=0.1)
+        first = se3.rotation_part(sequence.poses[0])
+        last = se3.rotation_part(sequence.poses[-1])
+        assert se3.rotation_angle(first.T @ last) > 0.3
+
+
+class TestPairs:
+    def test_pair_ground_truth_translation(self):
+        sequence = make_sequence(n_frames=3, seed=0, step=2.0)
+        _, _, gt = sequence.pair(0)
+        # Straight +x trajectory: relative transform is a 2 m x-shift.
+        assert np.allclose(se3.translation_part(gt), [2.0, 0.0, 0.0], atol=1e-12)
+        assert np.allclose(se3.rotation_part(gt), np.eye(3), atol=1e-12)
+
+    def test_gt_aligns_static_geometry(self):
+        # Transforming source points by the GT relative pose must land
+        # them near the target frame's scan of the same scene (within
+        # sensor noise + sampling differences).
+        sequence = make_sequence(n_frames=2, seed=4)
+        source, target, gt = sequence.pair(0)
+        moved = se3.apply_transform(gt, source.points)
+        # Compare coarse centroids of the static scene as a sanity check.
+        assert np.linalg.norm(
+            moved.mean(axis=0) - target.points.mean(axis=0)
+        ) < np.linalg.norm(source.points.mean(axis=0) - target.points.mean(axis=0)) + 1.0
+
+    def test_pair_index_bounds(self):
+        sequence = make_sequence(n_frames=2, seed=0)
+        with pytest.raises(IndexError):
+            sequence.pair(1)
+        with pytest.raises(IndexError):
+            sequence.pair(-1)
+
+    def test_pairs_iterates_all(self):
+        sequence = make_sequence(n_frames=4, seed=0)
+        assert len(list(sequence.pairs())) == 3
+
+
+class TestValidation:
+    def test_mismatched_lengths_rejected(self):
+        sequence = make_sequence(n_frames=2, seed=0)
+        with pytest.raises(ValueError):
+            SyntheticSequence(
+                frames=sequence.frames,
+                poses=sequence.poses[:1],
+                scene=sequence.scene,
+                model=sequence.model,
+            )
+
+    def test_default_test_model_is_small(self):
+        model = default_test_model()
+        assert model.channels * model.azimuth_steps < 10_000

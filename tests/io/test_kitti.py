@@ -1,0 +1,53 @@
+"""Round-trip tests for KITTI pose-file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import se3
+from repro.io import read_kitti_poses, write_kitti_poses
+
+
+class TestRoundTrip:
+    def test_poses_survive(self, tmp_path, rng):
+        poses = [se3.random_transform(rng) for _ in range(10)]
+        path = tmp_path / "poses.txt"
+        write_kitti_poses(path, poses)
+        loaded = read_kitti_poses(path)
+        assert len(loaded) == 10
+        for original, back in zip(poses, loaded):
+            assert np.allclose(original, back, atol=1e-8)
+
+    def test_twelve_values_per_line(self, tmp_path, rng):
+        path = tmp_path / "poses.txt"
+        write_kitti_poses(path, [se3.random_transform(rng)])
+        line = path.read_text().strip()
+        assert len(line.split()) == 12
+
+    def test_empty_trajectory(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        write_kitti_poses(path, [])
+        assert read_kitti_poses(path) == []
+
+
+class TestValidation:
+    def test_bad_shape_rejected_on_write(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_kitti_poses(tmp_path / "bad.txt", [np.eye(3)])
+
+    def test_wrong_value_count_rejected(self, tmp_path):
+        path = tmp_path / "short.txt"
+        path.write_text("1 0 0 0 0 1 0 0 0 0 1\n")  # 11 values
+        with pytest.raises(ValueError, match="line 1"):
+            read_kitti_poses(path)
+
+    def test_non_rigid_rejected(self, tmp_path):
+        path = tmp_path / "scaled.txt"
+        path.write_text("2 0 0 0 0 2 0 0 0 0 2 0\n")  # scale-2 matrix
+        with pytest.raises(ValueError, match="rigid"):
+            read_kitti_poses(path)
+
+    def test_blank_lines_skipped(self, tmp_path, rng):
+        path = tmp_path / "gaps.txt"
+        write_kitti_poses(path, [se3.random_transform(rng)])
+        path.write_text(path.read_text() + "\n\n")
+        assert len(read_kitti_poses(path)) == 1

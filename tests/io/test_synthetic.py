@@ -1,0 +1,255 @@
+"""Tests for scene primitives, ray casting, and the LiDAR model."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import se3
+from repro.io import (
+    Box,
+    Cylinder,
+    LidarModel,
+    Plane,
+    Scene,
+    Sphere,
+    room_scene,
+    scan,
+    urban_scene,
+)
+from repro.io.synthetic import RotatedBox
+
+
+def single_ray(origin, direction):
+    origin = np.asarray(origin, dtype=float).reshape(1, 3)
+    direction = np.asarray(direction, dtype=float).reshape(1, 3)
+    direction = direction / np.linalg.norm(direction)
+    return origin, direction
+
+
+class TestPlane:
+    def test_downward_ray_hits(self):
+        o, d = single_ray([0, 0, 5], [0, 0, -1])
+        t = Plane(z=0.0).intersect(o, d)
+        assert t[0] == pytest.approx(5.0)
+
+    def test_upward_ray_misses(self):
+        o, d = single_ray([0, 0, 5], [0, 0, 1])
+        assert np.isinf(Plane(z=0.0).intersect(o, d)[0])
+
+    def test_parallel_ray_misses(self):
+        o, d = single_ray([0, 0, 5], [1, 0, 0])
+        assert np.isinf(Plane(z=0.0).intersect(o, d)[0])
+
+
+class TestBox:
+    def test_axis_hit_distance(self):
+        box = Box((1, -1, -1), (3, 1, 1))
+        o, d = single_ray([0, 0, 0], [1, 0, 0])
+        assert box.intersect(o, d)[0] == pytest.approx(1.0)
+
+    def test_miss_above(self):
+        box = Box((1, -1, -1), (3, 1, 1))
+        o, d = single_ray([0, 0, 5], [1, 0, 0])
+        assert np.isinf(box.intersect(o, d)[0])
+
+    def test_ray_starting_inside_exits(self):
+        box = Box((-1, -1, -1), (1, 1, 1))
+        o, d = single_ray([0, 0, 0], [1, 0, 0])
+        assert box.intersect(o, d)[0] == pytest.approx(1.0)
+
+    def test_diagonal_hit(self):
+        box = Box((1, 1, -1), (2, 2, 1))
+        o, d = single_ray([0, 0, 0], [1, 1, 0])
+        assert box.intersect(o, d)[0] == pytest.approx(np.sqrt(2))
+
+
+class TestRotatedBox:
+    def test_zero_yaw_matches_axis_aligned(self):
+        rotated = RotatedBox(center=(2, 0, 0), size=(2, 2, 2), yaw=0.0)
+        o, d = single_ray([0, 0, 0], [1, 0, 0])
+        assert rotated.intersect(o, d)[0] == pytest.approx(1.0)
+
+    def test_rotation_changes_hit(self):
+        # A thin slab rotated 90 deg: the ray along x now sees its width.
+        thin = RotatedBox(center=(5, 0, 0), size=(0.2, 4.0, 2.0), yaw=0.0)
+        turned = RotatedBox(center=(5, 0, 0), size=(0.2, 4.0, 2.0), yaw=np.pi / 2)
+        o, d = single_ray([0, 0, 0], [1, 0, 0])
+        assert thin.intersect(o, d)[0] == pytest.approx(4.9)
+        assert turned.intersect(o, d)[0] == pytest.approx(3.0)
+
+
+class TestCylinder:
+    def test_radial_hit(self):
+        cylinder = Cylinder(center=(5, 0), radius=1.0, z_lo=0.0, z_hi=3.0)
+        o, d = single_ray([0, 0, 1], [1, 0, 0])
+        assert cylinder.intersect(o, d)[0] == pytest.approx(4.0)
+
+    def test_z_bounds_respected(self):
+        cylinder = Cylinder(center=(5, 0), radius=1.0, z_lo=0.0, z_hi=3.0)
+        o, d = single_ray([0, 0, 10], [1, 0, 0])
+        assert np.isinf(cylinder.intersect(o, d)[0])
+
+    def test_vertical_ray_misses(self):
+        cylinder = Cylinder(center=(5, 0), radius=1.0, z_lo=0.0, z_hi=3.0)
+        o, d = single_ray([0, 0, 0], [0, 0, 1])
+        assert np.isinf(cylinder.intersect(o, d)[0])
+
+
+class TestSphere:
+    def test_central_hit(self):
+        sphere = Sphere(center=(5, 0, 0), radius=1.0)
+        o, d = single_ray([0, 0, 0], [1, 0, 0])
+        assert sphere.intersect(o, d)[0] == pytest.approx(4.0)
+
+    def test_tangent_grazes(self):
+        sphere = Sphere(center=(5, 1, 0), radius=1.0)
+        o, d = single_ray([0, 0, 0], [1, 0, 0])
+        t = sphere.intersect(o, d)[0]
+        assert t == pytest.approx(5.0, abs=1e-6)
+
+    def test_behind_misses(self):
+        sphere = Sphere(center=(-5, 0, 0), radius=1.0)
+        o, d = single_ray([0, 0, 0], [1, 0, 0])
+        assert np.isinf(sphere.intersect(o, d)[0])
+
+
+class TestScene:
+    def test_nearest_primitive_wins(self):
+        scene = Scene()
+        scene.add(Sphere(center=(5, 0, 0), radius=1.0))
+        scene.add(Sphere(center=(10, 0, 0), radius=1.0))
+        o, d = single_ray([0, 0, 0], [1, 0, 0])
+        assert scene.intersect(o, d)[0] == pytest.approx(4.0)
+
+    def test_empty_scene_all_inf(self, rng):
+        scene = Scene()
+        directions = rng.normal(size=(10, 3))
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        t = scene.intersect(np.zeros((10, 3)), directions)
+        assert np.all(np.isinf(t))
+
+
+class TestLidarModel:
+    def test_ray_layout(self):
+        model = LidarModel(channels=4, azimuth_steps=8)
+        rays = model.ray_directions()
+        assert rays.shape == (32, 3)
+        assert np.allclose(np.linalg.norm(rays, axis=1), 1.0)
+
+    def test_ring_major_order(self):
+        model = LidarModel(channels=2, azimuth_steps=4, vertical_fov_deg=(-10, 10))
+        rays = model.ray_directions()
+        # First azimuth_steps rays share the lowest elevation.
+        z0 = rays[:4, 2]
+        z1 = rays[4:, 2]
+        assert np.allclose(z0, z0[0])
+        assert np.allclose(z1, z1[0])
+        assert z1[0] > z0[0]
+
+
+class TestScan:
+    def test_scan_room_from_center(self, rng):
+        scene = room_scene(size=10.0)
+        model = LidarModel(
+            channels=8, azimuth_steps=60, range_noise_std=0.0, dropout_rate=0.0
+        )
+        pose = se3.make_transform(np.eye(3), [0, 0, 1.5])
+        cloud = scan(scene, pose, model, rng)
+        assert len(cloud) > 100
+        # All returns within the room's diagonal.
+        assert np.all(np.linalg.norm(cloud.points, axis=1) < 16.0)
+        for attr in ("ring", "azimuth", "range"):
+            assert cloud.has_attribute(attr)
+
+    def test_scan_attributes_consistent(self, rng):
+        scene = room_scene()
+        model = LidarModel(channels=4, azimuth_steps=30, range_noise_std=0.0)
+        cloud = scan(scene, se3.make_transform(np.eye(3), [0, 0, 1.0]), model, rng)
+        ranges = np.linalg.norm(cloud.points, axis=1)
+        assert np.allclose(ranges, cloud.get_attribute("range"), atol=1e-9)
+        assert cloud.get_attribute("ring").max() < 4
+        assert cloud.get_attribute("azimuth").max() < 30
+
+    def test_range_limits_respected(self, rng):
+        scene = Scene()
+        scene.add(Sphere(center=(200.0, 0, 0), radius=1.0))  # beyond max range
+        scene.add(Sphere(center=(0.3, 0, 0), radius=0.1))  # below min range
+        model = LidarModel(channels=1, azimuth_steps=90, vertical_fov_deg=(0, 0),
+                           range_noise_std=0.0, dropout_rate=0.0)
+        cloud = scan(scene, se3.identity(), model, rng)
+        assert len(cloud) == 0
+
+    def test_dropout_reduces_returns(self, rng):
+        scene = room_scene()
+        pose = se3.make_transform(np.eye(3), [0, 0, 1.5])
+        base_model = LidarModel(channels=8, azimuth_steps=60, dropout_rate=0.0)
+        drop_model = LidarModel(channels=8, azimuth_steps=60, dropout_rate=0.5)
+        full = scan(scene, pose, base_model, np.random.default_rng(0))
+        dropped = scan(scene, pose, drop_model, np.random.default_rng(0))
+        assert len(dropped) < len(full) * 0.7
+
+    def test_sensor_frame_output(self, rng):
+        # The same scene scanned from a translated pose should produce
+        # points shifted in the *sensor* frame.
+        scene = Scene()
+        scene.add(Plane(z=0.0))
+        model = LidarModel(channels=4, azimuth_steps=16, range_noise_std=0.0)
+        near = scan(scene, se3.make_transform(np.eye(3), [0, 0, 1.0]), model, rng)
+        far = scan(scene, se3.make_transform(np.eye(3), [0, 0, 2.0]), model, rng)
+        # Ground is farther below the higher sensor.
+        assert far.points[:, 2].mean() < near.points[:, 2].mean()
+
+
+class TestProceduralScenes:
+    def test_urban_scene_has_structure(self, rng):
+        scene = urban_scene(rng, length=100.0)
+        kinds = {type(p).__name__ for p in scene.primitives}
+        assert "Plane" in kinds
+        assert "Box" in kinds
+        assert "Cylinder" in kinds
+        assert "RotatedBox" in kinds
+
+    def test_urban_scene_deterministic_per_seed(self):
+        a = urban_scene(np.random.default_rng(5), length=80.0)
+        b = urban_scene(np.random.default_rng(5), length=80.0)
+        assert len(a.primitives) == len(b.primitives)
+
+    def test_room_scene_closed(self):
+        scene = room_scene(size=8.0)
+        assert len(scene.primitives) >= 6
+
+
+class TestSceneVariants:
+    def test_highway_scene_structure(self, rng):
+        from repro.io import highway_scene
+
+        scene = highway_scene(rng, length=200.0)
+        kinds = {type(p).__name__ for p in scene.primitives}
+        assert {"Plane", "Box", "Cylinder", "RotatedBox"} <= kinds
+
+    def test_highway_scannable(self, rng):
+        from repro.geometry import se3
+        from repro.io import LidarModel, highway_scene, scan
+
+        scene = highway_scene(rng, length=150.0)
+        model = LidarModel(channels=8, azimuth_steps=90, dropout_rate=0.0)
+        cloud = scan(scene, se3.make_transform(np.eye(3), [0, 0, 1.8]), model, rng)
+        assert len(cloud) > 100
+
+    def test_intersection_scene_structure(self, rng):
+        from repro.io import intersection_scene
+
+        scene = intersection_scene(rng)
+        boxes = [p for p in scene.primitives if type(p).__name__ == "Box"]
+        assert len(boxes) >= 4  # the four corner blocks
+
+    def test_intersection_scannable(self, rng):
+        from repro.geometry import se3
+        from repro.io import LidarModel, intersection_scene, scan
+
+        scene = intersection_scene(rng)
+        model = LidarModel(channels=8, azimuth_steps=90, dropout_rate=0.0)
+        cloud = scan(scene, se3.make_transform(np.eye(3), [0, 0, 1.8]), model, rng)
+        assert len(cloud) > 100
+        # Structure on all four sides of the sensor.
+        assert (cloud.points[:, 0] > 2).any() and (cloud.points[:, 0] < -2).any()
+        assert (cloud.points[:, 1] > 2).any() and (cloud.points[:, 1] < -2).any()

@@ -1,0 +1,78 @@
+"""Unit tests for the brute-force reference search."""
+
+import numpy as np
+import pytest
+
+from repro.kdtree import bruteforce
+
+
+@pytest.fixture
+def points(rng):
+    return rng.normal(size=(80, 3))
+
+
+class TestNN:
+    def test_known_answer(self):
+        points = np.array([[0, 0, 0], [1, 0, 0], [0, 2, 0]], dtype=float)
+        idx, dist = bruteforce.nn(points, [0.9, 0.1, 0.0])
+        assert idx == 1
+        assert dist == pytest.approx(np.sqrt(0.01 + 0.01))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bruteforce.nn(np.empty((0, 3)), [0, 0, 0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            bruteforce.nn(np.zeros(5), [0])
+
+
+class TestKNN:
+    def test_sorted_and_exact(self, points):
+        indices, dists = bruteforce.knn(points, np.zeros(3), 10)
+        assert np.all(np.diff(dists) >= 0)
+        full = np.linalg.norm(points, axis=1)
+        assert np.allclose(dists, np.sort(full)[:10])
+        assert len(set(indices.tolist())) == 10
+
+    def test_k_caps_at_n(self, points):
+        indices, _ = bruteforce.knn(points, np.zeros(3), 500)
+        assert len(indices) == len(points)
+
+    def test_k_must_be_positive(self, points):
+        with pytest.raises(ValueError):
+            bruteforce.knn(points, np.zeros(3), 0)
+
+
+class TestRadius:
+    def test_exact_membership(self, points):
+        indices, dists = bruteforce.radius(points, np.zeros(3), 1.0)
+        norms = np.linalg.norm(points, axis=1)
+        expected = set(np.nonzero(norms <= 1.0)[0])
+        assert set(indices) == expected
+        assert np.all(dists <= 1.0)
+
+    def test_sort_flag(self, points):
+        _, dists = bruteforce.radius(points, np.zeros(3), 2.0, sort=True)
+        assert np.all(np.diff(dists) >= 0)
+
+    def test_negative_radius_rejected(self, points):
+        with pytest.raises(ValueError):
+            bruteforce.radius(points, np.zeros(3), -0.1)
+
+
+class TestBatch:
+    def test_nn_batch_matches_loop(self, points, rng):
+        queries = rng.normal(size=(25, 3))
+        indices, dists = bruteforce.nn_batch(points, queries)
+        for i, query in enumerate(queries):
+            idx, dist = bruteforce.nn(points, query)
+            assert indices[i] == idx
+            assert dists[i] == pytest.approx(dist)
+
+    def test_pairwise_distances_symmetric_layout(self, rng):
+        a = rng.normal(size=(4, 3))
+        b = rng.normal(size=(6, 3))
+        sq = bruteforce.pairwise_sq_distances(a, b)
+        assert sq.shape == (4, 6)
+        assert sq[1, 2] == pytest.approx(np.sum((a[1] - b[2]) ** 2))

@@ -1,0 +1,40 @@
+"""Unit tests for the SearchStats accumulator."""
+
+from repro.kdtree import SearchStats
+
+
+class TestSearchStats:
+    def test_zero_initialized(self):
+        stats = SearchStats()
+        assert stats.nodes_visited == 0
+        assert stats.queries == 0
+        assert stats.nodes_per_query == 0.0
+        assert stats.total_work == 0
+
+    def test_merge_adds(self):
+        a = SearchStats(nodes_visited=10, queries=2, leader_checks=3)
+        b = SearchStats(nodes_visited=5, queries=1, pruned_subtrees=7)
+        a.merge(b)
+        assert a.nodes_visited == 15
+        assert a.queries == 3
+        assert a.leader_checks == 3
+        assert a.pruned_subtrees == 7
+
+    def test_reset(self):
+        stats = SearchStats(nodes_visited=10, queries=2)
+        stats.reset()
+        assert stats.nodes_visited == 0
+        assert stats.queries == 0
+
+    def test_nodes_per_query(self):
+        stats = SearchStats(nodes_visited=30, queries=3)
+        assert stats.nodes_per_query == 10.0
+
+    def test_total_work_includes_leader_checks(self):
+        stats = SearchStats(nodes_visited=10, leader_checks=4)
+        assert stats.total_work == 14
+
+    def test_repr_readable(self):
+        text = repr(SearchStats(nodes_visited=5, queries=1))
+        assert "nodes_visited=5" in text
+        assert "queries=1" in text

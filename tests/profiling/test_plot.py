@@ -1,0 +1,56 @@
+"""Tests for the ASCII plotting helpers."""
+
+from repro.profiling import bar_chart, line_plot, scatter_plot
+
+
+class TestScatter:
+    def test_markers_and_legend(self):
+        text = scatter_plot(
+            [(1.0, 2.0, "DP1"), (3.0, 1.0, "DP7")],
+            x_label="time",
+            y_label="error",
+        )
+        assert "D" in text
+        assert "legend" in text
+        assert "time" in text and "error" in text
+
+    def test_empty(self):
+        assert scatter_plot([]) == "(no data)"
+
+    def test_single_point(self):
+        text = scatter_plot([(1.0, 1.0, "x")])
+        assert "x" in text
+
+    def test_collisions_marked(self):
+        text = scatter_plot([(1.0, 1.0, "a"), (1.0, 1.0, "b"), (5, 5, "c")])
+        assert "+" in text
+
+
+class TestLine:
+    def test_curve_renders(self):
+        xs = list(range(10))
+        ys = [x * x for x in xs]
+        text = line_plot(xs, ys, x_label="h", y_label="t")
+        assert text.count("*") >= 5
+        assert "h (" in text
+
+    def test_log_scale(self):
+        text = line_plot([1, 2, 3], [1, 100, 10000], log_y=True, y_label="t")
+        assert "log10(t)" in text
+
+    def test_mismatched_lengths(self):
+        assert line_plot([1, 2], [1]) == "(no data)"
+
+
+class TestBars:
+    def test_scaling(self):
+        text = bar_chart({"a": 10.0, "b": 5.0}, width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_zero_values(self):
+        text = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in text

@@ -1,0 +1,107 @@
+"""Unit tests for the hierarchical stage profiler."""
+
+import time
+
+import pytest
+
+from repro.profiling import StageProfiler
+
+
+class TestStages:
+    def test_stage_accumulates_time(self):
+        profiler = StageProfiler()
+        with profiler.stage("work"):
+            time.sleep(0.002)
+        assert profiler.stages["work"].total >= 0.002
+        assert profiler.stages["work"].calls == 1
+
+    def test_repeated_stages_accumulate(self):
+        profiler = StageProfiler()
+        for _ in range(3):
+            with profiler.stage("loop"):
+                pass
+        assert profiler.stages["loop"].calls == 3
+
+    def test_nested_stages_rejected(self):
+        profiler = StageProfiler()
+        with pytest.raises(RuntimeError):
+            with profiler.stage("outer"):
+                with profiler.stage("inner"):
+                    pass
+
+    def test_stage_closes_on_exception(self):
+        profiler = StageProfiler()
+        with pytest.raises(ValueError):
+            with profiler.stage("failing"):
+                raise ValueError("boom")
+        # The stage must have closed; a new one can open.
+        with profiler.stage("next"):
+            pass
+
+
+class TestCharges:
+    def test_search_charged_to_active_stage(self):
+        profiler = StageProfiler()
+        with profiler.stage("RPCE"):
+            profiler.charge_search(0.5)
+            profiler.charge_construction(0.1)
+        timing = profiler.stages["RPCE"]
+        assert timing.kdtree_search == pytest.approx(0.5)
+        assert timing.kdtree_construction == pytest.approx(0.1)
+
+    def test_charge_without_stage_is_noop(self):
+        profiler = StageProfiler()
+        profiler.charge_search(1.0)  # silently ignored: no stage open
+        assert profiler.total_kdtree_search == 0.0
+
+    def test_other_time_never_negative(self):
+        profiler = StageProfiler()
+        with profiler.stage("s"):
+            profiler.charge_search(100.0)  # charge exceeds wall time
+        assert profiler.stages["s"].other == 0.0
+
+
+class TestAggregation:
+    def test_fractions_sum_to_one(self):
+        profiler = StageProfiler()
+        with profiler.stage("a"):
+            time.sleep(0.001)
+        with profiler.stage("b"):
+            time.sleep(0.002)
+        assert sum(profiler.stage_fractions().values()) == pytest.approx(1.0)
+
+    def test_kdtree_fractions_partition(self):
+        profiler = StageProfiler()
+        with profiler.stage("a"):
+            time.sleep(0.002)
+            profiler.charge_search(0.001)
+        fractions = profiler.kdtree_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["search"] > 0
+
+    def test_empty_profiler(self):
+        profiler = StageProfiler()
+        assert profiler.total == 0.0
+        assert profiler.stage_fractions() == {}
+        assert profiler.kdtree_fractions()["search"] == 0.0
+
+    def test_merge(self):
+        a = StageProfiler()
+        with a.stage("x"):
+            a.charge_search(0.2)
+        b = StageProfiler()
+        with b.stage("x"):
+            b.charge_search(0.3)
+        with b.stage("y"):
+            pass
+        a.merge(b)
+        assert a.stages["x"].kdtree_search == pytest.approx(0.5)
+        assert "y" in a.stages
+
+    def test_report_format(self):
+        profiler = StageProfiler()
+        with profiler.stage("Normal Estimation"):
+            pass
+        text = profiler.report()
+        assert "Normal Estimation" in text
+        assert "TOTAL" in text

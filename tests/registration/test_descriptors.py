@@ -1,0 +1,148 @@
+"""Unit tests for the FPFH / SHOT / 3DSC descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import se3
+from repro.io import PointCloud
+from repro.registration import (
+    DescriptorConfig,
+    NormalEstimationConfig,
+    SearchConfig,
+    build_searcher,
+    compute_descriptors,
+    estimate_normals,
+)
+from repro.registration.descriptors import FPFH_DIMS, SC3D_DIMS, SHOT_DIMS
+
+
+@pytest.fixture(scope="module")
+def structured_cloud():
+    """A corner scene with normals, plus some keypoint indices."""
+    rng = np.random.default_rng(3)
+    n = 300
+    parts = [
+        np.column_stack([rng.uniform(0, 5, n), rng.uniform(0, 5, n), np.zeros(n)]),
+        np.column_stack(
+            [rng.uniform(0, 5, n // 2), np.zeros(n // 2), rng.uniform(0, 3, n // 2)]
+        ),
+        rng.normal(scale=0.3, size=(60, 3)) + [2.5, 2.5, 1.0],  # a blob
+    ]
+    cloud = PointCloud(np.vstack(parts))
+    searcher = build_searcher(cloud.points, SearchConfig())
+    cloud = estimate_normals(
+        cloud, searcher, NormalEstimationConfig(radius=0.7, orient_towards=(2, 2, 8))
+    )
+    keypoints = np.arange(0, len(cloud), 37)
+    return cloud, searcher, keypoints
+
+
+def rotated_copy(cloud, rng):
+    transform = se3.make_transform(se3.random_rotation(rng), [0.0, 0.0, 0.0])
+    return cloud.transformed(transform), transform
+
+
+DIMS = {"fpfh": FPFH_DIMS, "shot": SHOT_DIMS, "3dsc": SC3D_DIMS}
+
+
+class TestShapes:
+    @pytest.mark.parametrize("method", ["fpfh", "shot", "3dsc"])
+    def test_output_shape(self, structured_cloud, method):
+        cloud, searcher, keypoints = structured_cloud
+        config = DescriptorConfig(method=method, radius=1.0)
+        descriptors = compute_descriptors(cloud, searcher, keypoints, config)
+        assert descriptors.shape == (len(keypoints), DIMS[method])
+        assert config.dims == DIMS[method]
+
+    @pytest.mark.parametrize("method", ["fpfh", "shot", "3dsc"])
+    def test_finite_and_nonnegative(self, structured_cloud, method):
+        cloud, searcher, keypoints = structured_cloud
+        descriptors = compute_descriptors(
+            cloud, searcher, keypoints, DescriptorConfig(method=method, radius=1.0)
+        )
+        assert np.all(np.isfinite(descriptors))
+        assert np.all(descriptors >= 0)
+
+    def test_empty_keypoints(self, structured_cloud):
+        cloud, searcher, _ = structured_cloud
+        descriptors = compute_descriptors(
+            cloud, searcher, np.empty(0, dtype=np.int64), DescriptorConfig()
+        )
+        assert descriptors.shape == (0, FPFH_DIMS)
+
+    def test_requires_normals(self, rng):
+        bare = PointCloud(rng.normal(size=(50, 3)))
+        searcher = build_searcher(bare.points, SearchConfig())
+        with pytest.raises(ValueError, match="normals"):
+            compute_descriptors(bare, searcher, np.array([0]), DescriptorConfig())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DescriptorConfig(method="bogus")
+        with pytest.raises(ValueError):
+            DescriptorConfig(radius=0.0)
+
+
+class TestNormalization:
+    def test_fpfh_histograms_sum_to_100(self, structured_cloud):
+        cloud, searcher, keypoints = structured_cloud
+        descriptors = compute_descriptors(
+            cloud, searcher, keypoints, DescriptorConfig(method="fpfh", radius=1.0)
+        )
+        sums = descriptors.sum(axis=1)
+        nonzero = sums > 0
+        assert np.allclose(sums[nonzero], 100.0)
+
+    @pytest.mark.parametrize("method", ["shot", "3dsc"])
+    def test_unit_norm(self, structured_cloud, method):
+        cloud, searcher, keypoints = structured_cloud
+        descriptors = compute_descriptors(
+            cloud, searcher, keypoints, DescriptorConfig(method=method, radius=1.0)
+        )
+        norms = np.linalg.norm(descriptors, axis=1)
+        nonzero = norms > 0
+        assert np.allclose(norms[nonzero], 1.0)
+
+
+class TestInvariance:
+    """Descriptors must be (approximately) rotation-invariant — that is
+    what makes feature-space matching across frames possible."""
+
+    @pytest.mark.parametrize("method", ["fpfh", "shot", "3dsc"])
+    def test_rotation_invariance(self, structured_cloud, rng, method):
+        # Keypoints in the blob: distinctive geometry, so the local
+        # reference frames of SHOT/3DSC are well conditioned.  (On a
+        # perfectly flat plane the LRF azimuth is mathematically
+        # arbitrary — tied covariance eigenvalues — and no hard-binned
+        # descriptor can be invariant there.)
+        cloud, searcher, _ = structured_cloud
+        blob_mask = np.linalg.norm(cloud.points - [2.5, 2.5, 1.0], axis=1) < 0.4
+        keypoints = np.nonzero(blob_mask)[0][:8]
+        assert len(keypoints) >= 3
+        config = DescriptorConfig(method=method, radius=1.2)
+        original = compute_descriptors(cloud, searcher, keypoints, config)
+
+        rotated, _ = rotated_copy(cloud, rng)
+        rotated_searcher = build_searcher(rotated.points, SearchConfig())
+        transformed = compute_descriptors(rotated, rotated_searcher, keypoints, config)
+
+        cosines = []
+        for row in range(len(keypoints)):
+            a, b = original[row], transformed[row]
+            if np.linalg.norm(a) == 0 or np.linalg.norm(b) == 0:
+                continue
+            cosines.append(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+        assert np.median(cosines) > 0.8
+
+    def test_fpfh_discriminates_geometry(self, structured_cloud):
+        """Descriptors on a flat plane differ from descriptors on the
+        blob — otherwise matching would be meaningless."""
+        cloud, searcher, _ = structured_cloud
+        points = cloud.points
+        flat_idx = np.array([np.argmin(np.linalg.norm(points - [4.0, 4.0, 0.0], axis=1))])
+        blob_idx = np.array([np.argmin(np.linalg.norm(points - [2.5, 2.5, 1.0], axis=1))])
+        config = DescriptorConfig(method="fpfh", radius=1.0)
+        flat = compute_descriptors(cloud, searcher, flat_idx, config)[0]
+        blob = compute_descriptors(cloud, searcher, blob_idx, config)[0]
+        cosine = flat @ blob / (np.linalg.norm(flat) * np.linalg.norm(blob) + 1e-12)
+        assert cosine < 0.995

@@ -1,0 +1,77 @@
+"""Unit tests for the DP1-DP8 design-point configurations."""
+
+import pytest
+
+from repro.registration import (
+    DESIGN_POINT_NAMES,
+    approximate_variant,
+    design_point,
+    dp4_performance,
+    dp7_accuracy,
+)
+
+
+class TestDesignPoints:
+    def test_eight_points_defined(self):
+        assert len(DESIGN_POINT_NAMES) == 8
+
+    @pytest.mark.parametrize("name", DESIGN_POINT_NAMES)
+    def test_all_construct(self, name):
+        config = design_point(name)
+        assert config.normals.radius > 0
+        assert config.icp.max_iterations >= 1
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            design_point("DP9")
+
+    def test_dp4_vs_dp7_radii_match_paper(self):
+        """Sec. 6.3: DP4 NE radius 0.30, DP7 NE radius 0.75."""
+        assert dp4_performance().normals.radius == pytest.approx(0.30)
+        assert dp7_accuracy().normals.radius == pytest.approx(0.75)
+
+    def test_scale_multiplies_radii(self):
+        base = design_point("DP4")
+        scaled = design_point("DP4", scale=2.0)
+        assert scaled.normals.radius == pytest.approx(2 * base.normals.radius)
+        assert scaled.descriptor.radius == pytest.approx(
+            2 * base.descriptor.radius
+        )
+
+    def test_points_span_algorithm_space(self):
+        """The DPs must cover the Table-1 algorithm choices."""
+        keypoint_methods = {design_point(n).keypoints.method for n in DESIGN_POINT_NAMES}
+        descriptor_methods = {
+            design_point(n).descriptor.method for n in DESIGN_POINT_NAMES
+        }
+        normal_methods = {design_point(n).normals.method for n in DESIGN_POINT_NAMES}
+        rejection_methods = {
+            design_point(n).rejection.method for n in DESIGN_POINT_NAMES
+        }
+        metrics_used = {design_point(n).icp.error_metric for n in DESIGN_POINT_NAMES}
+        assert len(keypoint_methods) >= 3
+        assert len(descriptor_methods) >= 2
+        assert len(normal_methods) == 2
+        assert rejection_methods == {"threshold", "ransac"}
+        assert metrics_used == {"point_to_point", "point_to_plane"}
+
+    def test_dp_cost_ordering_knobs(self):
+        """DP1 is the cheap end, DP8 the expensive end."""
+        dp1, dp8 = design_point("DP1"), design_point("DP8")
+        assert dp1.normals.radius < dp8.normals.radius
+        assert dp1.icp.max_iterations < dp8.icp.max_iterations
+
+
+class TestApproximateVariant:
+    def test_only_search_changes(self):
+        base = design_point("DP7")
+        approx = approximate_variant(base)
+        assert approx.search.backend == "approximate"
+        assert approx.search.leaf_size == 128
+        assert approx.normals == base.normals
+        assert approx.icp == base.icp
+
+    def test_paper_thresholds(self):
+        approx = approximate_variant(design_point("DP4"))
+        assert approx.search.approx.nn_threshold == pytest.approx(1.2)
+        assert approx.search.approx.radius_threshold_fraction == pytest.approx(0.4)

@@ -1,0 +1,133 @@
+"""Unit tests for the Fig. 7 error injectors."""
+
+import numpy as np
+import pytest
+
+from repro.kdtree import SearchStats, bruteforce
+from repro.registration import (
+    IdentityInjector,
+    KthNeighborInjector,
+    SearchConfig,
+    ShellRadiusInjector,
+    build_searcher,
+)
+
+
+@pytest.fixture
+def setup(rng):
+    points = rng.normal(size=(200, 3))
+    return points
+
+
+class TestIdentityInjector:
+    def test_passthrough(self, setup, rng):
+        points = setup
+        searcher = build_searcher(points, SearchConfig(), injector=IdentityInjector())
+        plain = build_searcher(points, SearchConfig())
+        query = rng.normal(size=3)
+        assert searcher.nn(query) == plain.nn(query)
+
+
+class TestKthNeighbor:
+    def test_k1_is_exact(self, setup, rng):
+        points = setup
+        searcher = build_searcher(
+            points, SearchConfig(), injector=KthNeighborInjector(k=1)
+        )
+        query = rng.normal(size=3)
+        idx, dist = searcher.nn(query)
+        bf_idx, bf_dist = bruteforce.nn(points, query)
+        assert idx == bf_idx
+        assert dist == pytest.approx(bf_dist)
+
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_returns_kth_neighbor(self, setup, rng, k):
+        points = setup
+        searcher = build_searcher(
+            points, SearchConfig(), injector=KthNeighborInjector(k=k)
+        )
+        query = rng.normal(size=3)
+        idx, dist = searcher.nn(query)
+        bf_indices, bf_dists = bruteforce.knn(points, query, k)
+        assert idx == bf_indices[-1]
+        assert dist == pytest.approx(bf_dists[-1])
+
+    def test_knn_shifted(self, setup, rng):
+        points = setup
+        searcher = build_searcher(
+            points, SearchConfig(), injector=KthNeighborInjector(k=3)
+        )
+        query = rng.normal(size=3)
+        indices, dists = searcher.knn(query, 4)
+        bf_indices, bf_dists = bruteforce.knn(points, query, 6)
+        assert np.array_equal(indices, bf_indices[2:])
+        assert np.allclose(dists, bf_dists[2:])
+
+    def test_radius_untouched(self, setup, rng):
+        points = setup
+        searcher = build_searcher(
+            points, SearchConfig(), injector=KthNeighborInjector(k=4)
+        )
+        query = rng.normal(size=3)
+        indices, _ = searcher.radius(query, 0.8)
+        bf_indices, _ = bruteforce.radius(points, query, 0.8)
+        assert set(indices.tolist()) == set(bf_indices.tolist())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KthNeighborInjector(k=0)
+
+
+class TestShellRadius:
+    def test_shell_membership(self, setup, rng):
+        points = setup
+        searcher = build_searcher(
+            points, SearchConfig(), injector=ShellRadiusInjector(r1=0.3, r2=0.9)
+        )
+        query = rng.normal(size=3)
+        indices, dists = searcher.radius(query, 0.6)  # nominal r ignored
+        assert np.all(dists >= 0.3)
+        assert np.all(dists <= 0.9 + 1e-12)
+        bf_indices, bf_dists = bruteforce.radius(points, query, 0.9)
+        shell = set(bf_indices[bf_dists >= 0.3].tolist())
+        assert set(indices.tolist()) == shell
+
+    def test_degenerate_exact_shell(self, setup, rng):
+        points = setup
+        searcher = build_searcher(
+            points, SearchConfig(), injector=ShellRadiusInjector(r1=0.0, r2=0.7)
+        )
+        query = rng.normal(size=3)
+        indices, _ = searcher.radius(query, 0.7)
+        bf_indices, _ = bruteforce.radius(points, query, 0.7)
+        assert set(indices.tolist()) == set(bf_indices.tolist())
+
+    def test_nn_untouched(self, setup, rng):
+        points = setup
+        searcher = build_searcher(
+            points, SearchConfig(), injector=ShellRadiusInjector(r1=0.3, r2=0.9)
+        )
+        query = rng.normal(size=3)
+        idx, _ = searcher.nn(query)
+        assert idx == bruteforce.nn(points, query)[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShellRadiusInjector(r1=-0.1, r2=0.5)
+        with pytest.raises(ValueError):
+            ShellRadiusInjector(r1=0.5, r2=0.5)
+
+
+class TestStatsStillCharged:
+    def test_injected_searches_count_work(self, setup, rng):
+        points = setup
+        stats = SearchStats()
+        searcher = build_searcher(
+            points,
+            SearchConfig(),
+            stats=stats,
+            injector=KthNeighborInjector(k=3),
+        )
+        searcher.nn(rng.normal(size=3))
+        assert stats.nodes_visited > 0
+        assert stats.queries == 1

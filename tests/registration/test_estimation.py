@@ -1,0 +1,151 @@
+"""Unit tests for the transformation estimators (Kabsch, point-to-plane, LM)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import se3
+from repro.registration import kabsch, levenberg_marquardt, point_to_plane
+
+
+@pytest.fixture
+def correspondence_set(rng):
+    source = rng.normal(size=(60, 3)) * 3.0
+    gt = se3.make_transform(
+        se3.axis_angle_to_rotation(rng.normal(size=3), 0.4), [0.5, -0.3, 0.8]
+    )
+    target = se3.apply_transform(gt, source)
+    return source, target, gt
+
+
+class TestKabsch:
+    def test_recovers_exact_transform(self, correspondence_set):
+        source, target, gt = correspondence_set
+        estimate = kabsch(source, target)
+        rot, trans = se3.transform_distance(gt, estimate)
+        assert rot < 1e-9
+        assert trans < 1e-9
+
+    def test_identity_for_identical(self, rng):
+        points = rng.normal(size=(10, 3))
+        assert np.allclose(kabsch(points, points), np.eye(4), atol=1e-12)
+
+    def test_result_is_rigid(self, correspondence_set, rng):
+        source, target, _ = correspondence_set
+        noisy = target + rng.normal(scale=0.1, size=target.shape)
+        estimate = kabsch(source, noisy)
+        assert se3.is_valid_transform(estimate)
+
+    def test_noise_robustness(self, correspondence_set, rng):
+        source, target, gt = correspondence_set
+        noisy = target + rng.normal(scale=0.01, size=target.shape)
+        estimate = kabsch(source, noisy)
+        rot, trans = se3.transform_distance(gt, estimate)
+        assert rot < 0.02
+        assert trans < 0.02
+
+    def test_weights_downweight_outliers(self, correspondence_set):
+        source, target, gt = correspondence_set
+        corrupted = target.copy()
+        corrupted[0] += 100.0  # gross outlier
+        weights = np.ones(len(source))
+        weights[0] = 0.0
+        estimate = kabsch(source, corrupted, weights)
+        rot, trans = se3.transform_distance(gt, estimate)
+        assert trans < 1e-9
+
+    def test_handles_reflection_degeneracy(self):
+        # Coplanar points that would tempt a reflection solution.
+        source = np.array(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [1, 1, 0]], dtype=float
+        )
+        target = source[:, [1, 0, 2]]  # mirror swap x<->y
+        estimate = kabsch(source, target)
+        assert se3.is_valid_transform(estimate)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            kabsch(rng.normal(size=(2, 3)), rng.normal(size=(2, 3)))
+        with pytest.raises(ValueError):
+            kabsch(rng.normal(size=(5, 3)), rng.normal(size=(4, 3)))
+        points = rng.normal(size=(5, 3))
+        with pytest.raises(ValueError):
+            kabsch(points, points, weights=np.zeros(5))
+
+
+class TestPointToPlane:
+    def test_recovers_small_transform(self, rng):
+        # Points on varied planes; small motion (linearization regime).
+        source = rng.normal(size=(100, 3)) * 2.0
+        normals = rng.normal(size=(100, 3))
+        normals /= np.linalg.norm(normals, axis=1, keepdims=True)
+        gt = se3.make_transform(
+            se3.axis_angle_to_rotation([0.3, -0.2, 0.9], 0.02), [0.05, -0.02, 0.03]
+        )
+        target = se3.apply_transform(gt, source)
+        estimate = point_to_plane(source, target, normals)
+        rot, trans = se3.transform_distance(gt, estimate)
+        assert rot < 1e-3
+        assert trans < 1e-3
+
+    def test_sliding_along_plane_is_free(self):
+        # All normals along z: x/y translation must not be constrained,
+        # but z translation must be recovered exactly.
+        rng = np.random.default_rng(0)
+        source = np.column_stack(
+            [rng.uniform(0, 5, 50), rng.uniform(0, 5, 50), np.zeros(50)]
+        )
+        target = source + [0.0, 0.0, 0.25]
+        normals = np.tile([0.0, 0.0, 1.0], (50, 1))
+        estimate = point_to_plane(source, target, normals)
+        assert se3.translation_part(estimate)[2] == pytest.approx(0.25, abs=1e-9)
+
+    def test_validation(self, rng):
+        a = rng.normal(size=(3, 3))
+        with pytest.raises(ValueError):
+            point_to_plane(a, a, a)  # fewer than 6 pairs
+        with pytest.raises(ValueError):
+            point_to_plane(
+                rng.normal(size=(8, 3)),
+                rng.normal(size=(8, 3)),
+                rng.normal(size=(7, 3)),
+            )
+
+
+class TestLevenbergMarquardt:
+    def test_point_to_point_recovers_large_transform(self, correspondence_set):
+        source, target, gt = correspondence_set
+        estimate = levenberg_marquardt(source, target, max_iterations=50)
+        rot, trans = se3.transform_distance(gt, estimate)
+        assert rot < 1e-6
+        assert trans < 1e-6
+
+    def test_point_to_plane_mode(self, rng):
+        source = rng.normal(size=(80, 3)) * 2.0
+        normals = rng.normal(size=(80, 3))
+        normals /= np.linalg.norm(normals, axis=1, keepdims=True)
+        gt = se3.make_transform(
+            se3.axis_angle_to_rotation([1, 2, 3], 0.1), [0.2, 0.1, -0.1]
+        )
+        target = se3.apply_transform(gt, source)
+        estimate = levenberg_marquardt(source, target, normals, max_iterations=50)
+        moved = se3.apply_transform(estimate, source)
+        residuals = np.einsum("ij,ij->i", moved - target, normals)
+        assert np.sqrt(np.mean(residuals**2)) < 1e-6
+
+    def test_converges_from_noise(self, correspondence_set, rng):
+        source, target, gt = correspondence_set
+        noisy = target + rng.normal(scale=0.02, size=target.shape)
+        estimate = levenberg_marquardt(source, noisy, max_iterations=50)
+        rot, trans = se3.transform_distance(gt, estimate)
+        assert rot < 0.05
+        assert trans < 0.05
+
+    def test_result_always_rigid(self, rng):
+        source = rng.normal(size=(20, 3))
+        target = rng.normal(size=(20, 3))  # unrelated clouds
+        estimate = levenberg_marquardt(source, target)
+        assert se3.is_valid_transform(estimate)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            levenberg_marquardt(rng.normal(size=(2, 3)), rng.normal(size=(2, 3)))

@@ -1,0 +1,199 @@
+"""Unit tests for the keypoint detectors."""
+
+import numpy as np
+import pytest
+
+from repro.io import PointCloud
+from repro.registration import (
+    KeypointConfig,
+    NormalEstimationConfig,
+    SearchConfig,
+    build_searcher,
+    detect_keypoints,
+    estimate_normals,
+)
+from repro.registration.keypoints import (
+    build_range_image,
+    harris_keypoints,
+    narf_keypoints,
+    sift_keypoints,
+    uniform_keypoints,
+)
+
+
+@pytest.fixture(scope="module")
+def corner_cloud():
+    """Two walls meeting the ground: corners and edges at known places."""
+    rng = np.random.default_rng(0)
+    n = 400
+    parts = [
+        np.column_stack(
+            [rng.uniform(0, 6, n), rng.uniform(0, 6, n), np.zeros(n)]
+        ),  # ground z=0
+        np.column_stack(
+            [rng.uniform(0, 6, n // 2), np.zeros(n // 2), rng.uniform(0, 3, n // 2)]
+        ),  # wall y=0
+        np.column_stack(
+            [np.zeros(n // 2), rng.uniform(0, 6, n // 2), rng.uniform(0, 3, n // 2)]
+        ),  # wall x=0
+    ]
+    cloud = PointCloud(np.vstack(parts))
+    searcher = build_searcher(cloud.points, SearchConfig())
+    cloud = estimate_normals(
+        cloud, searcher, NormalEstimationConfig(radius=0.8, orient_towards=(3, 3, 5))
+    )
+    return cloud, searcher
+
+
+class TestHarris:
+    def test_finds_corner_region(self, corner_cloud):
+        cloud, searcher = corner_cloud
+        keypoints = harris_keypoints(cloud, searcher, radius=0.8, threshold=1e-4)
+        assert len(keypoints) > 0
+        # Keypoints concentrate near the corner line x=0, y=0.
+        positions = cloud.points[keypoints]
+        near_corner = np.sum(
+            (np.abs(positions[:, 0]) < 1.2) & (np.abs(positions[:, 1]) < 1.2)
+        )
+        assert near_corner / len(keypoints) > 0.5
+
+    def test_flat_plane_has_no_keypoints(self, rng):
+        points = np.column_stack(
+            [rng.uniform(0, 10, 300), rng.uniform(0, 10, 300), np.zeros(300)]
+        )
+        cloud = PointCloud(points)
+        searcher = build_searcher(cloud.points, SearchConfig())
+        cloud = estimate_normals(cloud, searcher, NormalEstimationConfig(radius=1.0))
+        keypoints = harris_keypoints(cloud, searcher, radius=1.0, threshold=1e-4)
+        assert len(keypoints) == 0
+
+    def test_requires_normals(self, rng):
+        cloud = PointCloud(rng.normal(size=(50, 3)))
+        searcher = build_searcher(cloud.points, SearchConfig())
+        with pytest.raises(ValueError, match="normals"):
+            harris_keypoints(cloud, searcher)
+
+    def test_nms_spreads_keypoints(self, corner_cloud):
+        cloud, searcher = corner_cloud
+        keypoints = harris_keypoints(
+            cloud, searcher, radius=0.8, threshold=1e-5, non_max_radius=1.0
+        )
+        if len(keypoints) >= 2:
+            positions = cloud.points[keypoints]
+            diffs = positions[:, None, :] - positions[None, :, :]
+            dists = np.linalg.norm(diffs, axis=2)
+            np.fill_diagonal(dists, np.inf)
+            assert dists.min() >= 1.0 - 1e-9
+
+    def test_classic_response_option(self, corner_cloud):
+        cloud, searcher = corner_cloud
+        # The classic det - k trace^2 measure runs (may find nothing on
+        # piecewise-planar data — that is exactly why eigen_product is
+        # the default).
+        keypoints = harris_keypoints(
+            cloud, searcher, radius=0.8, threshold=-1.0, response="harris"
+        )
+        assert isinstance(keypoints, np.ndarray)
+
+    def test_rejects_bad_response(self, corner_cloud):
+        cloud, searcher = corner_cloud
+        with pytest.raises(ValueError):
+            harris_keypoints(cloud, searcher, response="bogus")
+
+
+class TestSift:
+    def test_finds_keypoints_on_curvature_blobs(self, corner_cloud):
+        cloud, searcher = corner_cloud
+        keypoints = sift_keypoints(
+            cloud, searcher, min_scale=0.4, n_octaves=2, scales_per_octave=2,
+            contrast_threshold=1e-6,
+        )
+        assert len(keypoints) >= 0  # shape check; count depends on geometry
+        assert keypoints.dtype == np.int64
+
+    def test_requires_curvature(self, rng):
+        cloud = PointCloud(rng.normal(size=(30, 3)))
+        searcher = build_searcher(cloud.points, SearchConfig())
+        with pytest.raises(ValueError, match="curvature"):
+            sift_keypoints(cloud, searcher)
+
+    def test_validation(self, corner_cloud):
+        cloud, searcher = corner_cloud
+        with pytest.raises(ValueError):
+            sift_keypoints(cloud, searcher, min_scale=0.0)
+        with pytest.raises(ValueError):
+            sift_keypoints(cloud, searcher, n_octaves=0)
+
+
+class TestNarf:
+    def test_runs_on_lidar_frame(self, lidar_pair):
+        source, _, _ = lidar_pair
+        keypoints = narf_keypoints(source, support_size=2.0)
+        assert len(keypoints) > 0
+        assert len(set(keypoints.tolist())) == len(keypoints)
+
+    def test_max_keypoints_cap(self, lidar_pair):
+        source, _, _ = lidar_pair
+        keypoints = narf_keypoints(source, support_size=2.0, max_keypoints=5)
+        assert len(keypoints) <= 5
+
+    def test_validation(self, lidar_pair):
+        source, _, _ = lidar_pair
+        with pytest.raises(ValueError):
+            narf_keypoints(source, support_size=0.0)
+
+    def test_range_image_from_lidar_channels(self, lidar_pair):
+        source, _, _ = lidar_pair
+        image = build_range_image(source)
+        valid = image.valid_mask()
+        assert valid.sum() > 0
+        # Every valid pixel points back at a real point with that range.
+        rows, cols = np.nonzero(valid)
+        for r, c in list(zip(rows, cols))[:50]:
+            idx = image.point_index[r, c]
+            assert idx >= 0
+            point_range = np.linalg.norm(source.points[idx])
+            assert point_range == pytest.approx(image.ranges[r, c], abs=1e-6)
+
+    def test_range_image_fallback_projection(self, rng):
+        cloud = PointCloud(rng.normal(size=(200, 3)) + [5, 0, 0])
+        image = build_range_image(cloud, rows=16, cols=60)
+        assert image.shape == (16, 60)
+        assert image.valid_mask().sum() > 0
+
+
+class TestUniform:
+    def test_one_per_voxel(self, rng):
+        cloud = PointCloud(rng.uniform(0, 10, size=(500, 3)))
+        keypoints = uniform_keypoints(cloud, voxel_size=2.5)
+        assert 0 < len(keypoints) <= 5 * 5 * 5
+
+    def test_rejects_nonpositive_voxel(self, rng):
+        with pytest.raises(ValueError):
+            uniform_keypoints(PointCloud(rng.normal(size=(5, 3))), voxel_size=0)
+
+
+class TestDispatcher:
+    def test_all_methods_dispatch(self, corner_cloud):
+        cloud, searcher = corner_cloud
+        for method, params in (
+            ("harris", {"radius": 0.8}),
+            ("uniform", {"voxel_size": 2.0}),
+        ):
+            config = KeypointConfig(method=method, params=params)
+            keypoints = detect_keypoints(cloud, searcher, config)
+            assert len(keypoints) >= config.min_keypoints
+
+    def test_min_keypoints_topup(self, corner_cloud):
+        cloud, searcher = corner_cloud
+        config = KeypointConfig(
+            method="harris",
+            params={"radius": 0.8, "threshold": 1e9},  # finds nothing
+            min_keypoints=12,
+        )
+        keypoints = detect_keypoints(cloud, searcher, config)
+        assert len(keypoints) == 12
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            KeypointConfig(method="bogus")

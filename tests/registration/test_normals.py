@@ -1,0 +1,126 @@
+"""Unit tests for normal estimation (PlaneSVD / AreaWeighted)."""
+
+import numpy as np
+import pytest
+
+from repro.io import PointCloud
+from repro.registration import (
+    NormalEstimationConfig,
+    SearchConfig,
+    build_searcher,
+    estimate_normals,
+)
+
+
+def plane_cloud(rng, normal, n=120, extent=4.0, noise=0.0):
+    """Points on the plane through the origin with the given normal."""
+    normal = np.asarray(normal, dtype=float)
+    normal = normal / np.linalg.norm(normal)
+    basis_u = np.cross(normal, [1.0, 0.0, 0.0])
+    if np.linalg.norm(basis_u) < 1e-8:
+        basis_u = np.cross(normal, [0.0, 1.0, 0.0])
+    basis_u /= np.linalg.norm(basis_u)
+    basis_v = np.cross(normal, basis_u)
+    uv = rng.uniform(-extent, extent, size=(n, 2))
+    points = uv[:, :1] * basis_u + uv[:, 1:] * basis_v
+    if noise > 0:
+        points = points + rng.normal(scale=noise, size=(n, 1)) * normal
+    return PointCloud(points)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NormalEstimationConfig(method="bogus")
+        with pytest.raises(ValueError):
+            NormalEstimationConfig(radius=0.0)
+        with pytest.raises(ValueError):
+            NormalEstimationConfig(min_neighbors=2)
+
+
+class TestPlaneSVD:
+    @pytest.mark.parametrize(
+        "true_normal", [[0, 0, 1], [0, 1, 0], [1, 1, 1], [1, -2, 0.5]]
+    )
+    def test_recovers_plane_normal(self, rng, true_normal):
+        cloud = plane_cloud(rng, true_normal)
+        searcher = build_searcher(cloud.points, SearchConfig())
+        config = NormalEstimationConfig(
+            method="plane_svd", radius=1.5, orient_towards=tuple(
+                10.0 * np.asarray(true_normal, dtype=float)
+                / np.linalg.norm(true_normal)
+            ),
+        )
+        result = estimate_normals(cloud, searcher, config)
+        unit = np.asarray(true_normal, dtype=float)
+        unit /= np.linalg.norm(unit)
+        dots = result.normals @ unit
+        assert np.mean(np.abs(dots) > 0.99) > 0.9
+
+    def test_normals_are_unit_length(self, rng):
+        cloud = plane_cloud(rng, [0, 0, 1], noise=0.02)
+        searcher = build_searcher(cloud.points, SearchConfig())
+        result = estimate_normals(cloud, searcher, NormalEstimationConfig(radius=1.0))
+        norms = np.linalg.norm(result.normals, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-9)
+
+    def test_curvature_zero_on_plane(self, rng):
+        cloud = plane_cloud(rng, [0, 0, 1])
+        searcher = build_searcher(cloud.points, SearchConfig())
+        result = estimate_normals(cloud, searcher, NormalEstimationConfig(radius=1.5))
+        assert np.median(result.get_attribute("curvature")) < 1e-6
+
+    def test_curvature_positive_on_sphere(self, rng):
+        directions = rng.normal(size=(200, 3))
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        cloud = PointCloud(directions)  # unit sphere surface
+        searcher = build_searcher(cloud.points, SearchConfig())
+        result = estimate_normals(cloud, searcher, NormalEstimationConfig(radius=0.5))
+        assert np.median(result.get_attribute("curvature")) > 1e-3
+
+    def test_orientation_towards_viewpoint(self, rng):
+        cloud = plane_cloud(rng, [0, 0, 1])
+        searcher = build_searcher(cloud.points, SearchConfig())
+        config = NormalEstimationConfig(radius=1.5, orient_towards=(0, 0, 10.0))
+        result = estimate_normals(cloud, searcher, config)
+        assert np.all(result.normals[:, 2] > 0)
+
+    def test_sparse_neighborhood_fallback(self, rng):
+        # Isolated points (far apart) get the upward fallback normal.
+        cloud = PointCloud(rng.uniform(0, 1000, size=(20, 3)))
+        searcher = build_searcher(cloud.points, SearchConfig())
+        result = estimate_normals(cloud, searcher, NormalEstimationConfig(radius=0.5))
+        assert np.allclose(result.normals, [0, 0, 1])
+
+    def test_original_cloud_untouched(self, rng):
+        cloud = plane_cloud(rng, [0, 0, 1])
+        searcher = build_searcher(cloud.points, SearchConfig())
+        estimate_normals(cloud, searcher, NormalEstimationConfig(radius=1.0))
+        assert not cloud.has_normals
+
+
+class TestAreaWeighted:
+    def test_recovers_plane_normal(self, rng):
+        cloud = plane_cloud(rng, [0, 1, 1])
+        searcher = build_searcher(cloud.points, SearchConfig())
+        config = NormalEstimationConfig(
+            method="area_weighted", radius=1.5, orient_towards=(0, 10.0, 10.0)
+        )
+        result = estimate_normals(cloud, searcher, config)
+        unit = np.array([0, 1, 1]) / np.sqrt(2)
+        dots = result.normals @ unit
+        assert np.mean(np.abs(dots) > 0.99) > 0.85
+
+    def test_agrees_with_plane_svd_on_smooth_surface(self, rng):
+        cloud = plane_cloud(rng, [0, 0, 1], noise=0.01)
+        searcher = build_searcher(cloud.points, SearchConfig())
+        svd = estimate_normals(
+            cloud, searcher, NormalEstimationConfig(method="plane_svd", radius=1.2)
+        )
+        area = estimate_normals(
+            cloud,
+            searcher,
+            NormalEstimationConfig(method="area_weighted", radius=1.2),
+        )
+        dots = np.einsum("ij,ij->i", svd.normals, area.normals)
+        assert np.mean(np.abs(dots) > 0.95) > 0.9

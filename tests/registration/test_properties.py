@@ -1,0 +1,94 @@
+"""Property-based tests for registration invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import se3
+from repro.registration import kabsch, levenberg_marquardt, point_to_plane
+
+
+@st.composite
+def rigid_problem(draw):
+    """Random correspondences related by a random rigid transform."""
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    n = draw(st.integers(4, 40))
+    source = rng.normal(size=(n, 3)) * draw(st.floats(0.5, 10.0))
+    angle = draw(st.floats(0.0, 3.0))
+    transform = se3.make_transform(
+        se3.axis_angle_to_rotation(rng.normal(size=3), angle),
+        rng.uniform(-5, 5, size=3),
+    )
+    return source, se3.apply_transform(transform, source), transform
+
+
+class TestKabschProperties:
+    @given(problem=rigid_problem())
+    def test_exact_recovery(self, problem):
+        source, target, transform = problem
+        estimate = kabsch(source, target)
+        rot, trans = se3.transform_distance(transform, estimate)
+        # Degenerate (collinear) draws may admit multiple optima; the
+        # residual is the invariant that must always hold.
+        moved = se3.apply_transform(estimate, source)
+        assert np.allclose(moved, target, atol=1e-6)
+        assert se3.is_valid_transform(estimate)
+        # For well-spread clouds the transform itself is unique.
+        spread = np.linalg.svd(source - source.mean(axis=0), compute_uv=False)
+        if spread[-1] > 1e-3:
+            assert rot < 1e-5
+            assert trans < 1e-5
+
+    @given(problem=rigid_problem())
+    @settings(max_examples=15)
+    def test_permutation_invariance(self, problem):
+        source, target, _ = problem
+        rng = np.random.default_rng(0)
+        order = rng.permutation(len(source))
+        direct = kabsch(source, target)
+        permuted = kabsch(source[order], target[order])
+        assert np.allclose(direct, permuted, atol=1e-9)
+
+    @given(problem=rigid_problem(), scale=st.floats(0.1, 10.0))
+    @settings(max_examples=15)
+    def test_weight_scale_invariance(self, problem, scale):
+        source, target, _ = problem
+        weights = np.ones(len(source))
+        a = kabsch(source, target, weights)
+        b = kabsch(source, target, weights * scale)
+        assert np.allclose(a, b, atol=1e-9)
+
+
+class TestSolverAgreement:
+    @given(problem=rigid_problem())
+    @settings(max_examples=10)
+    def test_lm_matches_kabsch_on_clean_data(self, problem):
+        source, target, _ = problem
+        closed_form = kabsch(source, target)
+        iterative = levenberg_marquardt(source, target, max_iterations=60)
+        residual_cf = np.linalg.norm(
+            se3.apply_transform(closed_form, source) - target
+        )
+        residual_lm = np.linalg.norm(
+            se3.apply_transform(iterative, source) - target
+        )
+        # LM must reach (essentially) the global optimum Kabsch finds.
+        assert residual_lm <= residual_cf + 1e-4
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=10)
+    def test_point_to_plane_zero_residual_on_consistent_input(self, seed):
+        rng = np.random.default_rng(seed)
+        source = rng.normal(size=(50, 3)) * 3.0
+        normals = rng.normal(size=(50, 3))
+        normals /= np.linalg.norm(normals, axis=1, keepdims=True)
+        small = se3.make_transform(
+            se3.axis_angle_to_rotation(rng.normal(size=3), 0.01),
+            rng.uniform(-0.02, 0.02, size=3),
+        )
+        target = se3.apply_transform(small, source)
+        estimate = point_to_plane(source, target, normals)
+        moved = se3.apply_transform(estimate, source)
+        residuals = np.einsum("ij,ij->i", moved - target, normals)
+        assert np.sqrt(np.mean(residuals**2)) < 1e-4
