@@ -11,6 +11,14 @@ The canonical KD-tree of the baselines is represented as a two-stage
 tree with leaf size 1 (paper Sec. 4.1: "The classic KD-tree has a
 leaf-size one"), making "Base-KD vs Base-2SKD vs Acc-KD vs Acc-2SKD"
 a pure configuration sweep.
+
+Workload capture always passes ``trace=`` to the batched searches,
+which pins them to the sequential per-query path: the trace needs the
+exact per-query traversal order the scalar search performs, not the
+grouped-by-leaf schedule of the performance batch path (whose NN pass
+can visit a slightly different node set).  Counts therefore replay the
+accelerator-faithful sequential semantics regardless of how fast the
+software batch layer is.
 """
 
 from __future__ import annotations

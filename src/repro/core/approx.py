@@ -108,6 +108,11 @@ class ApproximateSearch:
         return self._tree
 
     @property
+    def points(self) -> np.ndarray:
+        """The indexed points (uniform backend interface)."""
+        return self._tree.points
+
+    @property
     def config(self) -> ApproximateSearchConfig:
         return self._config
 
@@ -233,7 +238,14 @@ class ApproximateSearch:
             query, r, stats=stats, sort=sort, trace=trace, leaf_scan=scan
         )
 
-    # Batch conveniences ------------------------------------------------
+    # ------------------------------------------------------------------
+    # Batch queries.  Leaders/followers is *stateful*: each query may
+    # publish leaders that change what later queries see, exactly as the
+    # hardware's leader buffers fill over one search pass.  The batch
+    # entry points therefore process queries sequentially in row order —
+    # bit-identical to issuing the scalar calls one by one — rather than
+    # reordering work by leaf.
+    # ------------------------------------------------------------------
 
     def nn_batch(
         self,
@@ -241,11 +253,34 @@ class ApproximateSearch:
         stats: SearchStats | None = None,
         trace: list[QueryTrace] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
+        """Approximate NN for every row of ``queries``, in row order."""
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         indices = np.empty(len(queries), dtype=np.int64)
         dists = np.empty(len(queries))
         for i, query in enumerate(queries):
             indices[i], dists[i] = self.nn(query, stats, trace)
+        return indices, dists
+
+    def knn_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        stats: SearchStats | None = None,
+        trace: list[QueryTrace] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Approximate kNN for every row: (Q, min(k, n)) arrays."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if k <= 0:
+            raise ValueError("k must be positive")
+        k = min(k, self._tree.n)
+        # The approximate path may return fewer than k neighbors when a
+        # leader's published result set is small; pad rows with misses.
+        indices = np.full((len(queries), k), -1, dtype=np.int64)
+        dists = np.full((len(queries), k), np.inf)
+        for i, query in enumerate(queries):
+            row_idx, row_dist = self.knn(query, k, stats, trace)
+            indices[i, : len(row_idx)] = row_idx
+            dists[i, : len(row_dist)] = row_dist
         return indices, dists
 
     def radius_batch(
@@ -256,6 +291,7 @@ class ApproximateSearch:
         sort: bool = False,
         trace: list[QueryTrace] | None = None,
     ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Approximate radius search for every row, in row order."""
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         all_indices, all_dists = [], []
         for query in queries:

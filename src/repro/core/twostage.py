@@ -15,6 +15,24 @@ node-level parallelism for the accelerator back-end.  At
 
 Leaf scans are vectorized with numpy — deliberately mirroring the
 data-parallel processing-element array of the accelerator back-end.
+
+Batch queries
+-------------
+:meth:`TwoStageKDTree.nn_batch` and :meth:`TwoStageKDTree.radius_batch`
+run a *grouped-by-leaf* schedule that mirrors the accelerator's
+front-end/back-end split: all queries are routed through the top-tree
+together (a vectorized frontier of ``(node, query-set)`` pairs advanced
+level by level), and each reached leaf set is then scanned once against
+every query that arrived at it.  Nearest-neighbor batches first descend
+every query to its home leaf to seed tight pruning bounds (the
+hardware's split-tree scheduling).  Results are bit-identical to the
+scalar methods: ties resolve to the lowest point index and radius
+results come back in ascending index order on both paths.  Passing
+``trace=`` falls back to the sequential per-query path, which records
+the exact per-query traversal the accelerator model replays.
+:meth:`TwoStageKDTree.knn_batch` remains a tight scalar loop — the
+bounded-heap eviction order of kNN is inherently sequential, and kNN is
+not one of the two query kinds (NN, radius) the paper's workloads use.
 """
 
 from __future__ import annotations
@@ -42,6 +60,19 @@ def _encode_leaf(leaf_id: int) -> int:
 
 def _decode_leaf(code: int) -> int:
     return _LEAF_BASE - code
+
+
+def _point_sq_dist(query: np.ndarray, point: np.ndarray) -> float:
+    """Squared distance accumulated coordinate by coordinate.
+
+    The left-to-right accumulation order matches the per-coordinate
+    ufunc accumulation of the batch frontier, so scalar and batched
+    traversals see bit-identical bounds and candidate distances.
+    """
+    d_sq = 0.0
+    for t in query - point:
+        d_sq += t * t
+    return float(d_sq)
 
 
 class TwoStageKDTree:
@@ -306,21 +337,24 @@ class TwoStageKDTree:
                     continue
                 indices, sq = leaf_scan(leaf_id, query, visit)
                 if len(indices):
-                    j = int(np.argmin(sq))
-                    if sq[j] < best_sq:
-                        best_sq = float(sq[j])
-                        best_idx = int(indices[j])
+                    # Deterministic tie rule shared with the batch path:
+                    # the global (distance, index) lexicographic minimum.
+                    jv = float(np.min(sq))
+                    if jv <= best_sq:
+                        cand = int(np.min(np.asarray(indices)[sq == jv]))
+                        if jv < best_sq or cand < best_idx:
+                            best_sq = jv
+                            best_idx = cand
                 continue
             if bound_sq > best_sq:
                 record.toptree_bypassed += 1
                 continue
             record.toptree_visits += 1
-            pidx = self._node_point[ref]
-            diff = query - self._points[pidx]
-            d_sq = float(diff @ diff)
-            if d_sq < best_sq:
+            pidx = int(self._node_point[ref])
+            d_sq = _point_sq_dist(query, self._points[pidx])
+            if d_sq < best_sq or (d_sq == best_sq and pidx < best_idx):
                 best_sq = d_sq
-                best_idx = int(pidx)
+                best_idx = pidx
             dim = self._node_dim[ref]
             delta = query[dim] - self._node_value[ref]
             left_child = self._node_left[ref]
@@ -463,9 +497,8 @@ class TwoStageKDTree:
                 record.toptree_bypassed += 1
                 continue
             record.toptree_visits += 1
-            pidx = self._node_point[ref]
-            diff = query - self._points[pidx]
-            d_sq = float(diff @ diff)
+            pidx = int(self._node_point[ref])
+            d_sq = _point_sq_dist(query, self._points[pidx])
             if d_sq <= r_sq:
                 found_idx.append(np.array([pidx], dtype=np.int64))
                 found_sq.append(np.array([d_sq]))
@@ -489,7 +522,12 @@ class TwoStageKDTree:
 
         if found_idx:
             indices = np.concatenate(found_idx).astype(np.int64)
-            dists = np.sqrt(np.concatenate(found_sq))
+            sq_found = np.concatenate(found_sq)
+            # Canonical ascending-index order, shared with the batch
+            # path (which collects leaves in a different order).
+            order = np.argsort(indices, kind="stable")
+            indices = indices[order]
+            dists = np.sqrt(sq_found[order])
         else:
             indices = np.empty(0, dtype=np.int64)
             dists = np.empty(0)
@@ -501,7 +539,7 @@ class TwoStageKDTree:
         return indices, dists
 
     # ------------------------------------------------------------------
-    # Batch conveniences
+    # Batch queries (grouped-by-leaf fast paths; see module docstring).
     # ------------------------------------------------------------------
 
     def nn_batch(
@@ -510,12 +548,21 @@ class TwoStageKDTree:
         stats: SearchStats | None = None,
         trace: list[QueryTrace] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        indices = np.empty(len(queries), dtype=np.int64)
-        dists = np.empty(len(queries))
-        for i, query in enumerate(queries):
-            indices[i], dists[i] = self.nn(query, stats, trace)
-        return indices, dists
+        """Nearest neighbor for every row of ``queries``.
+
+        Runs the grouped-by-leaf frontier; with ``trace`` it falls back
+        to the sequential per-query path so the accelerator model sees
+        exact per-query traversal records.
+        """
+        if trace is not None:
+            queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+            indices = np.empty(len(queries), dtype=np.int64)
+            dists = np.empty(len(queries))
+            for i, query in enumerate(queries):
+                indices[i], dists[i] = self.nn(query, stats, trace)
+            return indices, dists
+        queries = self._check_queries(queries)
+        return self._nn_batch_fast(queries, stats)
 
     def radius_batch(
         self,
@@ -525,13 +572,23 @@ class TwoStageKDTree:
         sort: bool = False,
         trace: list[QueryTrace] | None = None,
     ) -> tuple[list[np.ndarray], list[np.ndarray]]:
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        all_indices, all_dists = [], []
-        for query in queries:
-            indices, dists = self.radius(query, r, stats, sort=sort, trace=trace)
-            all_indices.append(indices)
-            all_dists.append(dists)
-        return all_indices, all_dists
+        """Radius search for every row of ``queries`` (ragged lists).
+
+        Runs the grouped-by-leaf frontier; with ``trace`` it falls back
+        to the sequential per-query path (see :meth:`nn_batch`).
+        """
+        if trace is not None:
+            queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+            all_indices, all_dists = [], []
+            for query in queries:
+                indices, dists = self.radius(query, r, stats, sort=sort, trace=trace)
+                all_indices.append(indices)
+                all_dists.append(dists)
+            return all_indices, all_dists
+        if r < 0:
+            raise ValueError("radius must be non-negative")
+        queries = self._check_queries(queries)
+        return self._radius_batch_fast(queries, r, stats, sort)
 
     def knn_batch(
         self,
@@ -539,13 +596,327 @@ class TwoStageKDTree:
         k: int,
         stats: SearchStats | None = None,
         trace: list[QueryTrace] | None = None,
-    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """kNN for every row of ``queries``: (Q, min(k, n)) arrays.
+
+        A tight loop over the scalar search: kNN's bounded-heap eviction
+        order is inherently sequential (see module docstring).
+        """
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        all_indices, all_dists = [], []
-        for query in queries:
-            indices, dists = self.knn(query, k, stats, trace)
+        if k <= 0:
+            raise ValueError("k must be positive")
+        k = min(k, self.n)
+        indices = np.empty((len(queries), k), dtype=np.int64)
+        dists = np.empty((len(queries), k))
+        for i, query in enumerate(queries):
+            indices[i], dists[i] = self.knn(query, k, stats, trace)
+        return indices, dists
+
+    # ------------------------------------------------------------------
+    # Grouped-by-leaf batch machinery
+    # ------------------------------------------------------------------
+
+    def _check_queries(self, queries: np.ndarray) -> np.ndarray:
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.ndim != 2 or queries.shape[1] != self.ndim:
+            raise ValueError(
+                f"queries have shape {queries.shape}, tree has dimension "
+                f"{self.ndim}"
+            )
+        if not np.all(np.isfinite(queries)):
+            raise ValueError("queries contain NaN or infinity")
+        return queries
+
+    def _route_to_leaves(self, queries: np.ndarray) -> np.ndarray:
+        """Pure descend of every query to its home leaf (no backtracking).
+
+        Returns the home leaf id per query, -1 where the descend dead-ends
+        in an absent child.  This is the vectorized front-end pass that
+        seeds the nearest-neighbor pruning bounds.
+        """
+        n_queries = len(queries)
+        home = np.full(n_queries, -1, dtype=np.int64)
+        if self._root_ref == _NO_CHILD:
+            return home
+        if self._root_ref <= _LEAF_BASE:
+            home[:] = _decode_leaf(self._root_ref)
+            return home
+        node = np.full(n_queries, self._root_ref, dtype=np.int64)
+        alive = np.arange(n_queries, dtype=np.int64)
+        while len(alive):
+            current = node[alive]
+            dim = self._node_dim[current]
+            delta = queries[alive, dim] - self._node_value[current]
+            child = np.where(
+                delta < 0, self._node_left[current], self._node_right[current]
+            )
+            at_leaf = child <= _LEAF_BASE
+            home[alive[at_leaf]] = _LEAF_BASE - child[at_leaf]
+            descend = ~at_leaf & (child != _NO_CHILD)
+            node[alive[descend]] = child[descend]
+            alive = alive[descend]
+        return home
+
+    def _scan_leaf_block(
+        self, leaf_id: int, queries: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Scan one leaf set against a block of queries at once.
+
+        Returns (original indices (c,), squared distances (m, c)); each
+        row is bit-identical to :meth:`scan_leaf` for that query.
+        """
+        start = self._leaf_start[leaf_id]
+        count = self._leaf_count[leaf_id]
+        members = self._leaf_points[start : start + count]
+        diff = queries[:, None, :] - members[None, :, :]
+        sq = np.einsum("qij,qij->qi", diff, diff)
+        return self._leaf_orig[start : start + count], sq
+
+    @staticmethod
+    def _leaf_groups(leaf_ids: np.ndarray, rows: np.ndarray):
+        """Yield (leaf_id, member rows) for each distinct leaf."""
+        if len(leaf_ids) == 0:
+            return
+        order = np.argsort(leaf_ids, kind="stable")
+        sorted_ids = leaf_ids[order]
+        starts = np.nonzero(np.r_[True, sorted_ids[1:] != sorted_ids[:-1]])[0]
+        bounds = np.r_[starts, len(order)]
+        for s, e in zip(bounds[:-1], bounds[1:]):
+            yield int(sorted_ids[s]), rows[order[s:e]]
+
+    def _node_sq_dists(self, queries_rows: np.ndarray, node_pts: np.ndarray):
+        """Per-coordinate squared distances (same order as
+        :func:`_point_sq_dist`, hence bit-identical to the scalar path)."""
+        t = queries_rows[:, 0] - node_pts[:, 0]
+        d_sq = t * t
+        for j in range(1, self.ndim):
+            t = queries_rows[:, j] - node_pts[:, j]
+            d_sq += t * t
+        return d_sq
+
+    def _nn_batch_fast(
+        self, queries: np.ndarray, stats: SearchStats | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        n_queries, ndim = queries.shape
+        best_sq = np.full(n_queries, np.inf)
+        best_idx = np.full(n_queries, -1, dtype=np.int64)
+        if n_queries == 0 or self._root_ref == _NO_CHILD:
+            return best_idx, np.full(n_queries, np.inf)
+        visits = bypassed = leaf_pruned = scanned = 0
+        big = np.iinfo(np.int64).max
+
+        def scan_rows(leaf_id: int, rows: np.ndarray) -> int:
+            """Scan a leaf against queries ``rows``; lexicographic-min
+            update of the running bests.  Returns distance comps."""
+            nonlocal best_sq, best_idx
+            orig, sq = self._scan_leaf_block(leaf_id, queries[rows])
+            jv = sq.min(axis=1)
+            cand = np.where(sq == jv[:, None], orig[None, :], big).min(axis=1)
+            better = (jv < best_sq[rows]) | (
+                (jv == best_sq[rows]) & (cand < best_idx[rows])
+            )
+            upd = rows[better]
+            best_sq[upd] = jv[better]
+            best_idx[upd] = cand[better]
+            return sq.size
+
+        # Phase 1: descend every query to its home leaf and scan the home
+        # leaves grouped, seeding tight pruning bounds.
+        home = self._route_to_leaves(queries)
+        routed = np.nonzero(home >= 0)[0]
+        for leaf_id, rows in self._leaf_groups(home[routed], routed):
+            scanned += scan_rows(leaf_id, rows)
+
+        # Phase 2: full traversal as a vectorized frontier of
+        # (node, query) pairs, pruned against the running bests.
+        refs = np.full(n_queries, self._root_ref, dtype=np.int64)
+        qidx = np.arange(n_queries, dtype=np.int64)
+        bound = np.zeros(n_queries)
+        contrib = np.zeros((n_queries, ndim))
+        while len(refs):
+            at_leaf = refs <= _LEAF_BASE
+            if np.any(at_leaf):
+                leaf_ids = _LEAF_BASE - refs[at_leaf]
+                l_rows = qidx[at_leaf]
+                l_bound = bound[at_leaf]
+                revisit = leaf_ids == home[l_rows]  # scanned in phase 1
+                leaf_ids = leaf_ids[~revisit]
+                l_rows = l_rows[~revisit]
+                l_bound = l_bound[~revisit]
+                positions = np.arange(len(leaf_ids))
+                for leaf_id, pos in self._leaf_groups(leaf_ids, positions):
+                    # Re-check against the freshest bests per block: the
+                    # bests tighten as sibling blocks are scanned.
+                    rows = l_rows[pos]
+                    keep = l_bound[pos] <= best_sq[rows]
+                    leaf_pruned += int(np.count_nonzero(~keep))
+                    if np.any(keep):
+                        scanned += scan_rows(leaf_id, rows[keep])
+            inner = ~at_leaf
+            refs_i = refs[inner]
+            q_i = qidx[inner]
+            b_i = bound[inner]
+            c_i = contrib[inner]
+            alive = b_i <= best_sq[q_i]
+            bypassed += int(np.count_nonzero(~alive))
+            refs_i, q_i, b_i, c_i = (
+                refs_i[alive],
+                q_i[alive],
+                b_i[alive],
+                c_i[alive],
+            )
+            visits += len(refs_i)
+            if len(refs_i) == 0:
+                break
+            pidx = self._node_point[refs_i]
+            d_sq = self._node_sq_dists(queries[q_i], self._points[pidx])
+            better = (d_sq < best_sq[q_i]) | (
+                (d_sq == best_sq[q_i]) & (pidx < best_idx[q_i])
+            )
+            if np.any(better):
+                # A query can meet several nodes in one round; reduce its
+                # candidates to the lexicographic minimum before updating.
+                bq, bsq, bidx = q_i[better], d_sq[better], pidx[better]
+                sel = np.lexsort((bidx, bsq, bq))
+                bq, bsq, bidx = bq[sel], bsq[sel], bidx[sel]
+                first = np.r_[True, bq[1:] != bq[:-1]]
+                cq, csq, cidx = bq[first], bsq[first], bidx[first]
+                win = (csq < best_sq[cq]) | (
+                    (csq == best_sq[cq]) & (cidx < best_idx[cq])
+                )
+                best_sq[cq[win]] = csq[win]
+                best_idx[cq[win]] = cidx[win]
+            dim = self._node_dim[refs_i]
+            delta = queries[q_i, dim] - self._node_value[refs_i]
+            left = self._node_left[refs_i]
+            right = self._node_right[refs_i]
+            goes_left = delta < 0
+            near = np.where(goes_left, left, right)
+            far = np.where(goes_left, right, left)
+            dd = delta * delta
+            span = np.arange(len(refs_i))
+            far_bound = b_i - c_i[span, dim] + dd
+            far_contrib = c_i.copy()
+            far_contrib[span, dim] = dd
+            has_far = far != _NO_CHILD
+            has_near = near != _NO_CHILD
+            refs = np.concatenate([far[has_far], near[has_near]])
+            qidx = np.concatenate([q_i[has_far], q_i[has_near]])
+            bound = np.concatenate([far_bound[has_far], b_i[has_near]])
+            contrib = np.concatenate([far_contrib[has_far], c_i[has_near]])
+
+        if stats is not None:
+            stats.nodes_visited += visits + scanned
+            stats.traversal_steps += visits + bypassed
+            stats.pruned_subtrees += bypassed + leaf_pruned
+            stats.queries += n_queries
+            stats.results_returned += int(np.count_nonzero(best_idx >= 0))
+        dists = np.sqrt(best_sq)
+        dists[best_idx < 0] = np.inf
+        return best_idx, dists
+
+    def _radius_batch_fast(
+        self,
+        queries: np.ndarray,
+        r: float,
+        stats: SearchStats | None,
+        sort: bool,
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        n_queries, ndim = queries.shape
+        r_sq = r * r
+        found_idx: list[list[np.ndarray]] = [[] for _ in range(n_queries)]
+        found_sq: list[list[np.ndarray]] = [[] for _ in range(n_queries)]
+        visits = bypassed = leaf_pruned = scanned = results = 0
+
+        if n_queries and self._root_ref != _NO_CHILD:
+            refs = np.full(n_queries, self._root_ref, dtype=np.int64)
+            qidx = np.arange(n_queries, dtype=np.int64)
+            bound = np.zeros(n_queries)
+            contrib = np.zeros((n_queries, ndim))
+            while len(refs):
+                at_leaf = refs <= _LEAF_BASE
+                if np.any(at_leaf):
+                    leaf_ids = _LEAF_BASE - refs[at_leaf]
+                    l_rows = qidx[at_leaf]
+                    l_alive = bound[at_leaf] <= r_sq
+                    leaf_pruned += int(np.count_nonzero(~l_alive))
+                    for leaf_id, rows in self._leaf_groups(
+                        leaf_ids[l_alive], l_rows[l_alive]
+                    ):
+                        orig, sq = self._scan_leaf_block(leaf_id, queries[rows])
+                        scanned += sq.size
+                        hits = sq <= r_sq
+                        for row in np.nonzero(hits.any(axis=1))[0]:
+                            mask = hits[row]
+                            found_idx[rows[row]].append(orig[mask])
+                            found_sq[rows[row]].append(sq[row][mask])
+                inner = ~at_leaf
+                refs_i = refs[inner]
+                q_i = qidx[inner]
+                b_i = bound[inner]
+                c_i = contrib[inner]
+                alive = b_i <= r_sq
+                bypassed += int(np.count_nonzero(~alive))
+                refs_i, q_i, b_i, c_i = (
+                    refs_i[alive],
+                    q_i[alive],
+                    b_i[alive],
+                    c_i[alive],
+                )
+                visits += len(refs_i)
+                if len(refs_i) == 0:
+                    break
+                pidx = self._node_point[refs_i]
+                d_sq = self._node_sq_dists(queries[q_i], self._points[pidx])
+                for row in np.nonzero(d_sq <= r_sq)[0]:
+                    found_idx[q_i[row]].append(
+                        np.array([pidx[row]], dtype=np.int64)
+                    )
+                    found_sq[q_i[row]].append(np.array([d_sq[row]]))
+                dim = self._node_dim[refs_i]
+                delta = queries[q_i, dim] - self._node_value[refs_i]
+                left = self._node_left[refs_i]
+                right = self._node_right[refs_i]
+                goes_left = delta < 0
+                near = np.where(goes_left, left, right)
+                far = np.where(goes_left, right, left)
+                dd = delta * delta
+                span = np.arange(len(refs_i))
+                far_bound = b_i - c_i[span, dim] + dd
+                far_contrib = c_i.copy()
+                far_contrib[span, dim] = dd
+                has_far = far != _NO_CHILD
+                has_near = near != _NO_CHILD
+                refs = np.concatenate([far[has_far], near[has_near]])
+                qidx = np.concatenate([q_i[has_far], q_i[has_near]])
+                bound = np.concatenate([far_bound[has_far], b_i[has_near]])
+                contrib = np.concatenate([far_contrib[has_far], c_i[has_near]])
+
+        all_indices: list[np.ndarray] = []
+        all_dists: list[np.ndarray] = []
+        for i in range(n_queries):
+            if found_idx[i]:
+                indices = np.concatenate(found_idx[i]).astype(np.int64)
+                sq_found = np.concatenate(found_sq[i])
+                order = np.argsort(indices, kind="stable")
+                indices = indices[order]
+                dists = np.sqrt(sq_found[order])
+                if sort and len(indices):
+                    order = np.argsort(dists, kind="stable")
+                    indices, dists = indices[order], dists[order]
+            else:
+                indices = np.empty(0, dtype=np.int64)
+                dists = np.empty(0)
+            results += len(indices)
             all_indices.append(indices)
             all_dists.append(dists)
+
+        if stats is not None:
+            stats.nodes_visited += visits + scanned
+            stats.traversal_steps += visits + bypassed
+            stats.pruned_subtrees += bypassed + leaf_pruned
+            stats.queries += n_queries
+            stats.results_returned += results
         return all_indices, all_dists
 
     # ------------------------------------------------------------------

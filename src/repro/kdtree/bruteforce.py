@@ -4,13 +4,39 @@ The exhaustive reference against which every tree search is validated,
 and the primitive the two-stage KD-tree's back-end performs on leaf sets
 (paper Sec. 4.1: "the two-stage KD-tree enables exhaustive searches in
 certain sub-trees").  All functions are fully vectorized.
+
+Batch queries
+-------------
+:func:`sq_distances` is the shared squared-distance kernel behind the
+batched entry points (:func:`nn_batch`, :func:`knn_batch`,
+:func:`radius_batch`).  It accumulates one coordinate at a time with
+elementwise ufuncs, so every output element is produced by the same
+sequence of IEEE operations no matter how many queries share the batch —
+the property that makes batched results *bit-identical* to per-query
+results.  Batches are processed in cache-sized query chunks
+(:func:`query_chunk`) with caller-provided scratch so the hot loop never
+allocates large fresh buffers.
+
+Tie-breaking is deterministic throughout: k-nearest membership is the
+``k`` smallest by ``(distance, index)`` and radius results come back in
+ascending index order.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["nn", "knn", "radius", "nn_batch", "pairwise_sq_distances"]
+__all__ = [
+    "nn",
+    "knn",
+    "radius",
+    "nn_batch",
+    "knn_batch",
+    "radius_batch",
+    "pairwise_sq_distances",
+    "sq_distances",
+    "query_chunk",
+]
 
 
 def _as_2d(points: np.ndarray) -> np.ndarray:
@@ -40,7 +66,11 @@ def nn(points: np.ndarray, query: np.ndarray) -> tuple[int, float]:
 
 
 def knn(points: np.ndarray, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-    """Indices and distances of the ``k`` nearest points, sorted ascending."""
+    """Indices and distances of the ``k`` nearest points, sorted ascending.
+
+    Ties resolve by the shared (distance, index) rule, so this scalar
+    reference agrees with :func:`knn_batch` on duplicate distances.
+    """
     points = _as_2d(points)
     if k <= 0:
         raise ValueError("k must be positive")
@@ -49,12 +79,8 @@ def knn(points: np.ndarray, query: np.ndarray, k: int) -> tuple[np.ndarray, np.n
         return np.empty(0, dtype=np.int64), np.empty(0)
     diff = points - np.asarray(query, dtype=np.float64)
     sq = np.sum(diff * diff, axis=1)
-    if k < len(points):
-        candidates = np.argpartition(sq, k - 1)[:k]
-    else:
-        candidates = np.arange(len(points))
-    order = candidates[np.argsort(sq[candidates], kind="stable")]
-    return order.astype(np.int64), np.sqrt(sq[order])
+    cols, vals = _select_k_rows(sq[None, :], k)
+    return cols[0], np.sqrt(vals[0])
 
 
 def radius(
@@ -75,23 +101,188 @@ def radius(
     return indices, dists
 
 
-def nn_batch(points: np.ndarray, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def query_chunk(n_points: int, n_queries: int) -> int:
+    """Queries per batch chunk so the (chunk, n_points) scratch stays
+    cache-resident (~1 MB per buffer) — on large clouds the distance
+    matrix must not spill to DRAM, and large fresh allocations are the
+    dominant cost of naive batching."""
+    return max(1, min(n_queries, 4096, int(65_536 // max(n_points, 1)) + 1))
+
+
+def sq_distances(
+    queries: np.ndarray,
+    points: np.ndarray,
+    out: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
+    points_t: np.ndarray | None = None,
+) -> np.ndarray:
+    """Row-deterministic squared distances, shape (n_queries, n_points).
+
+    Accumulates one coordinate at a time with elementwise ufuncs, so row
+    ``i`` is bit-identical whether computed alone or inside any batch.
+    ``out``/``scratch`` are optional preallocated (n_queries, n_points)
+    buffers; ``points_t`` an optional contiguous (k, N) transpose.
+    """
+    queries = _as_2d(np.atleast_2d(queries))
+    points = _as_2d(points)
+    n_queries, ndim = queries.shape
+    if points.shape[1] != ndim:
+        raise ValueError(
+            f"queries have dimension {ndim}, points {points.shape[1]}"
+        )
+    if points_t is None:
+        points_t = points.T
+    if out is None:
+        out = np.empty((n_queries, len(points)))
+    if scratch is None:
+        scratch = np.empty((n_queries, len(points)))
+    np.subtract(queries[:, 0, None], points_t[0][None, :], out=out)
+    np.square(out, out=out)
+    for j in range(1, ndim):
+        np.subtract(queries[:, j, None], points_t[j][None, :], out=scratch)
+        np.square(scratch, out=scratch)
+        out += scratch
+    return out
+
+
+def nn_batch(
+    points: np.ndarray, queries: np.ndarray, points_t: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
     """Vectorized nearest neighbor for every row of ``queries``.
 
-    Processes queries in chunks to bound the (chunk x n_points) distance
-    matrix memory.
+    Processes queries in cache-sized chunks with preallocated scratch;
+    ties resolve to the lowest point index (``argmin`` semantics).
     """
     points = _as_2d(points)
     queries = _as_2d(np.atleast_2d(queries))
     if len(points) == 0:
         raise ValueError("cannot search an empty point set")
+    if points_t is None:
+        points_t = np.ascontiguousarray(points.T)
     indices = np.empty(len(queries), dtype=np.int64)
     dists = np.empty(len(queries))
-    chunk = max(1, int(4e6 // max(len(points), 1)))
+    chunk = query_chunk(len(points), len(queries))
+    sq = np.empty((chunk, len(points)))
+    scratch = np.empty((chunk, len(points)))
     for start in range(0, len(queries), chunk):
         stop = min(start + chunk, len(queries))
-        sq = pairwise_sq_distances(queries[start:stop], points)
-        best = np.argmin(sq, axis=1)
+        c = stop - start
+        block = sq_distances(
+            queries[start:stop], points, sq[:c], scratch[:c], points_t
+        )
+        best = np.argmin(block, axis=1)
         indices[start:stop] = best
-        dists[start:stop] = np.sqrt(sq[np.arange(stop - start), best])
+        dists[start:stop] = np.sqrt(block[np.arange(c), best])
     return indices, dists
+
+
+def _select_k_rows(
+    block: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic k-smallest per row of ``block``: membership is the
+    ``k`` smallest by ``(value, column)`` and rows come back sorted by
+    that same key.  Returns (columns (c, k), values (c, k))."""
+    c, n = block.shape
+    if k >= n:
+        cols = np.broadcast_to(np.arange(n, dtype=np.int64), (c, n)).copy()
+    else:
+        cols = np.argpartition(block, k - 1, axis=1)[:, :k].astype(np.int64)
+        vals = np.take_along_axis(block, cols, axis=1)
+        kth = vals.max(axis=1)
+        # argpartition breaks value ties at the k-th boundary arbitrarily;
+        # repair those rare rows to the (value, column) rule.
+        n_eq_total = np.count_nonzero(block == kth[:, None], axis=1)
+        n_eq_kept = np.count_nonzero(vals == kth[:, None], axis=1)
+        for row in np.nonzero(n_eq_total > n_eq_kept)[0]:
+            below = np.nonzero(block[row] < kth[row])[0]
+            ties = np.nonzero(block[row] == kth[row])[0]
+            cols[row] = np.concatenate([below, ties[: k - len(below)]])
+    vals = np.take_along_axis(block, cols, axis=1)
+    order = np.lexsort((cols, vals), axis=1)
+    return np.take_along_axis(cols, order, axis=1), np.take_along_axis(
+        vals, order, axis=1
+    )
+
+
+def knn_batch(
+    points: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    points_t: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized kNN for every row of ``queries``.
+
+    Returns rectangular (n_queries, min(k, n)) index and distance arrays
+    sorted ascending, ties resolved by lowest point index.
+    """
+    points = _as_2d(points)
+    queries = _as_2d(np.atleast_2d(queries))
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if len(points) == 0:
+        raise ValueError("cannot search an empty point set")
+    k = min(k, len(points))
+    if points_t is None:
+        points_t = np.ascontiguousarray(points.T)
+    indices = np.empty((len(queries), k), dtype=np.int64)
+    dists = np.empty((len(queries), k))
+    chunk = query_chunk(len(points), len(queries))
+    sq = np.empty((chunk, len(points)))
+    scratch = np.empty((chunk, len(points)))
+    for start in range(0, len(queries), chunk):
+        stop = min(start + chunk, len(queries))
+        c = stop - start
+        block = sq_distances(
+            queries[start:stop], points, sq[:c], scratch[:c], points_t
+        )
+        cols, vals = _select_k_rows(block, k)
+        indices[start:stop] = cols
+        dists[start:stop] = np.sqrt(vals)
+    return indices, dists
+
+
+def radius_batch(
+    points: np.ndarray,
+    queries: np.ndarray,
+    r: float,
+    sort: bool = False,
+    points_t: np.ndarray | None = None,
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Vectorized radius search for every row of ``queries``.
+
+    Returns ragged per-query (indices, distances) lists; indices come
+    back ascending (``sort=True`` re-orders by distance, stable).
+    """
+    points = _as_2d(points)
+    queries = _as_2d(np.atleast_2d(queries))
+    if r < 0:
+        raise ValueError("radius must be non-negative")
+    if points_t is None:
+        points_t = np.ascontiguousarray(points.T)
+    all_indices: list[np.ndarray] = []
+    all_dists: list[np.ndarray] = []
+    r_sq = r * r
+    chunk = query_chunk(len(points), len(queries))
+    sq = np.empty((chunk, len(points)))
+    scratch = np.empty((chunk, len(points)))
+    for start in range(0, len(queries), chunk):
+        stop = min(start + chunk, len(queries))
+        c = stop - start
+        block = sq_distances(
+            queries[start:stop], points, sq[:c], scratch[:c], points_t
+        )
+        # 1D nonzero over the raveled mask: 2D nonzero is far slower.
+        flat = np.nonzero((block <= r_sq).ravel())[0]
+        hit_rows = flat // block.shape[1]
+        hit_cols = flat - hit_rows * block.shape[1]
+        hit_dists = np.sqrt(block[hit_rows, hit_cols])
+        bounds = np.searchsorted(hit_rows, np.arange(c + 1))
+        for row in range(c):
+            sel = hit_cols[bounds[row] : bounds[row + 1]].astype(np.int64)
+            d = hit_dists[bounds[row] : bounds[row + 1]]
+            if sort and len(sel):
+                order = np.argsort(d, kind="stable")
+                sel, d = sel[order], d[order]
+            all_indices.append(sel)
+            all_dists.append(d)
+    return all_indices, all_dists

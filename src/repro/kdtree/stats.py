@@ -32,6 +32,11 @@ class SearchStats:
         Distance computations against leaders in the approximate search.
     ``queries`` / ``results_returned``
         Bookkeeping for averaging.
+    ``batches``
+        Batched entry-point invocations charged by
+        :class:`~repro.registration.search.NeighborSearcher`; with the
+        batch query layer a whole pipeline stage is one batch, so
+        ``queries / batches`` is the amortization factor.
     """
 
     nodes_visited: int = 0
@@ -40,6 +45,7 @@ class SearchStats:
     leader_checks: int = 0
     queries: int = 0
     results_returned: int = 0
+    batches: int = 0
 
     def merge(self, other: "SearchStats") -> None:
         """Fold another accumulator into this one."""
@@ -49,6 +55,7 @@ class SearchStats:
         self.leader_checks += other.leader_checks
         self.queries += other.queries
         self.results_returned += other.results_returned
+        self.batches += other.batches
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -58,6 +65,7 @@ class SearchStats:
         self.leader_checks = 0
         self.queries = 0
         self.results_returned = 0
+        self.batches = 0
 
     @property
     def nodes_per_query(self) -> float:

@@ -359,7 +359,11 @@ class KDTree:
         return indices, dists
 
     # ------------------------------------------------------------------
-    # Batch conveniences
+    # Batch queries.  The canonical tree's pruned traversal is inherently
+    # sequential (the bottleneck motivating the paper's two-stage
+    # structure), so its batch entry points are tight loops over the
+    # scalar searches — trivially bit-identical to per-query calls, and
+    # still amortizing per-batch instrumentation in the callers.
     # ------------------------------------------------------------------
 
     def nn_batch(
@@ -375,15 +379,17 @@ class KDTree:
 
     def knn_batch(
         self, queries: np.ndarray, k: int, stats: SearchStats | None = None
-    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
-        """kNN for every row of ``queries`` (ragged when k > n)."""
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """kNN for every row of ``queries``: (Q, min(k, n)) arrays."""
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        all_indices, all_dists = [], []
-        for query in queries:
-            indices, dists = self.knn(query, k, stats)
-            all_indices.append(indices)
-            all_dists.append(dists)
-        return all_indices, all_dists
+        if k <= 0:
+            raise ValueError("k must be positive")
+        k = min(k, self.n)
+        indices = np.empty((len(queries), k), dtype=np.int64)
+        dists = np.empty((len(queries), k))
+        for i, query in enumerate(queries):
+            indices[i], dists[i] = self.knn(query, k, stats)
+        return indices, dists
 
     def radius_batch(
         self,
@@ -392,7 +398,7 @@ class KDTree:
         stats: SearchStats | None = None,
         sort: bool = False,
     ) -> tuple[list[np.ndarray], list[np.ndarray]]:
-        """Radius search for every row of ``queries``."""
+        """Radius search for every row of ``queries`` (ragged lists)."""
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         all_indices, all_dists = [], []
         for query in queries:

@@ -119,26 +119,28 @@ def estimate_feature_correspondences(
     )
     need_second = config.with_second and len(target_features) >= 2
 
-    matches = np.empty(len(source_features), dtype=np.int64)
-    dists = np.empty(len(source_features))
-    seconds = np.empty(len(source_features)) if need_second else None
-    for i, feature in enumerate(source_features):
-        if need_second:
-            idx, d = target_index.knn(feature, 2)
-            matches[i], dists[i] = int(idx[0]), float(d[0])
-            seconds[i] = float(d[1]) if len(d) > 1 else np.inf
-        else:
-            matches[i], dists[i] = target_index.nn(feature)
+    # One batched feature-space search for the whole KPCE stage.
+    if need_second:
+        idx, d = target_index.knn_batch(source_features, 2)
+        matches = idx[:, 0].astype(np.int64)
+        dists = d[:, 0].copy()
+        seconds = d[:, 1].copy() if d.shape[1] > 1 else np.full(len(d), np.inf)
+    else:
+        matches, dists = target_index.nn_batch(source_features)
+        seconds = None
+    if np.any(matches < 0):
+        # Backends for this stage always fill every row; a -1 means an
+        # injector produced padded/empty rows — fail loudly rather than
+        # let Python's negative indexing fabricate a correspondence.
+        raise ValueError("KPCE received empty nearest-neighbor rows")
 
     source_rows = np.arange(len(source_features), dtype=np.int64)
     if config.reciprocal:
         source_index = build_searcher(
             source_features, search_config, profiler, stats, injector
         )
-        keep = np.zeros(len(source_features), dtype=bool)
-        for i in range(len(source_features)):
-            back, _ = source_index.nn(target_features[matches[i]])
-            keep[i] = back == i
+        back, _ = source_index.nn_batch(target_features[matches])
+        keep = back == source_rows
         source_rows = source_rows[keep]
         matches = matches[keep]
         dists = dists[keep]
@@ -231,10 +233,8 @@ def estimate_point_correspondences(
 
     if config.reciprocal and source_searcher is not None and len(matches):
         target_points = target_searcher.points
-        keep = np.zeros(len(matches), dtype=bool)
-        for i in range(len(matches)):
-            back, _ = source_searcher.nn(target_points[matches[i]])
-            keep[i] = back == source_rows[i]
+        back, _ = source_searcher.nn_batch(target_points[matches])
+        keep = back == source_rows
         source_rows, matches, dists = (
             source_rows[keep],
             matches[keep],
@@ -246,11 +246,7 @@ def estimate_point_correspondences(
 def _match_nearest(
     source_points: np.ndarray, target_searcher: NeighborSearcher
 ) -> tuple[np.ndarray, np.ndarray]:
-    matches = np.empty(len(source_points), dtype=np.int64)
-    dists = np.empty(len(source_points))
-    for i, point in enumerate(source_points):
-        matches[i], dists[i] = target_searcher.nn(point)
-    return matches, dists
+    return target_searcher.nn_batch(source_points)
 
 
 def _match_normal_shooting(
@@ -264,8 +260,13 @@ def _match_normal_shooting(
     target_points = target_searcher.points
     matches = np.empty(len(source_points), dtype=np.int64)
     dists = np.empty(len(source_points))
+    # One batched kNN for the stage; the per-point candidate selection
+    # below is cheap (k is small) and kept scalar for exactness.
+    all_idx, all_d = target_searcher.knn_batch(source_points, k_candidates)
     for i, point in enumerate(source_points):
-        idx, d = target_searcher.knn(point, k_candidates)
+        idx, d = all_idx[i], all_d[i]
+        valid = idx >= 0  # approximate rows may be padded with misses
+        idx, d = idx[valid], d[valid]
         if len(idx) == 0:
             matches[i], dists[i] = -1, np.inf
             continue

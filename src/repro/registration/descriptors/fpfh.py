@@ -10,7 +10,9 @@ instead of re-pairing the whole neighborhood.
 
 The ``radius`` parameter is the Descriptor Calculation search-radius
 knob of the paper's Table 1, and makes this stage a heavy radius-search
-(KD-tree) consumer.
+(KD-tree) consumer.  The two batched passes (keypoints, then their
+not-yet-covered neighbors) assume a stateless (exact) searcher — what
+the pipeline always supplies for descriptor stages.
 """
 
 from __future__ import annotations
@@ -46,27 +48,32 @@ def fpfh_descriptors(
     points = cloud.points
     normals = cloud.normals
 
-    # Pass 1: neighbors of each keypoint (one radius search per keypoint).
+    # Pass 1: one batched radius search over all keypoints.
     neighbor_lists: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-    needed: set[int] = set()
-    for idx in keypoint_indices:
-        nbr_idx, nbr_dist = searcher.radius(points[idx], radius)
+    kp_neighbors, kp_dists = searcher.radius_batch(points[keypoint_indices], radius)
+    for idx, nbr_idx, nbr_dist in zip(keypoint_indices, kp_neighbors, kp_dists):
         mask = nbr_idx != idx
         neighbor_lists[int(idx)] = (nbr_idx[mask], nbr_dist[mask])
-        needed.add(int(idx))
-        needed.update(int(j) for j in nbr_idx[mask])
 
-    # Pass 2: SPFH for every needed point (keypoints + their neighbors).
+    # Pass 2: SPFH for every needed point (keypoints + their neighbors);
+    # the neighbors not already covered get one more batched search.
+    needed = np.unique(
+        np.concatenate(
+            [keypoint_indices] + [nbr for nbr, _ in neighbor_lists.values()]
+        )
+    )
+    extra = np.array(
+        [int(i) for i in needed if int(i) not in neighbor_lists], dtype=np.int64
+    )
+    if len(extra):
+        extra_neighbors, extra_dists = searcher.radius_batch(points[extra], radius)
+        for idx, nbr_idx, nbr_dist in zip(extra, extra_neighbors, extra_dists):
+            mask = nbr_idx != idx
+            neighbor_lists[int(idx)] = (nbr_idx[mask], nbr_dist[mask])
     spfh: dict[int, np.ndarray] = {}
     for idx in needed:
-        if idx in neighbor_lists:
-            nbr_idx, _ = neighbor_lists[idx]
-        else:
-            nbr_idx, nbr_dist = searcher.radius(points[idx], radius)
-            mask = nbr_idx != idx
-            nbr_idx = nbr_idx[mask]
-            neighbor_lists[idx] = (nbr_idx, nbr_dist[mask])
-        spfh[idx] = _spfh(points, normals, idx, nbr_idx)
+        idx = int(idx)
+        spfh[idx] = _spfh(points, normals, idx, neighbor_lists[idx][0])
 
     # Pass 3: FPFH = own SPFH + weighted neighbor SPFHs.
     descriptors = np.zeros((len(keypoint_indices), FPFH_DIMS))

@@ -11,6 +11,13 @@ Simplification (documented): the original resolves the azimuth
 ambiguity by emitting one rotated descriptor per azimuth bin; like
 PCL's ``ShapeContext3DEstimation`` we instead fix the azimuth axis with
 a local reference frame direction, keeping one descriptor per point.
+
+The batched implementation issues one support search for all keypoints
+and one deduplicated density search for all contributing neighbors.
+It assumes a stateless (exact) searcher — what the pipeline always
+supplies for descriptor stages; under the stateful approximate backend
+the reordered queries would see different leader state than a
+per-keypoint loop.
 """
 
 from __future__ import annotations
@@ -51,12 +58,38 @@ def sc3d_descriptors(
         np.linspace(np.log(min_radius), np.log(radius), _RADIAL_BINS + 1)
     )
 
+    all_neighbors, all_dists = searcher.radius_batch(
+        points[keypoint_indices], radius
+    )
+    masked: list[tuple[np.ndarray, np.ndarray]] = []
+    for row, idx in enumerate(keypoint_indices):
+        nbr_idx, nbr_dist = all_neighbors[row], all_dists[row]
+        mask = (nbr_idx != idx) & (nbr_dist >= min_radius)
+        masked.append((nbr_idx[mask], nbr_dist[mask]))
+
+    # Local densities for the normalization weights: one deduplicated
+    # batched search over the neighbors that actually enter a histogram
+    # (supports below the 5-neighbor floor contribute none).
+    contributing = [nbr for nbr, _ in masked if len(nbr) >= 5]
+    unique_neighbors = (
+        np.unique(np.concatenate(contributing))
+        if contributing
+        else np.empty(0, dtype=np.int64)
+    )
+    density_of: dict[int, float] = {}
+    if len(unique_neighbors):
+        close_lists, _ = searcher.radius_batch(
+            points[unique_neighbors], min_radius * 2
+        )
+        density_of = {
+            int(nbr): float(max(len(close), 1))
+            for nbr, close in zip(unique_neighbors, close_lists)
+        }
+
     for row, idx in enumerate(keypoint_indices):
         center = points[idx]
         normal = normals[idx]
-        nbr_idx, nbr_dist = searcher.radius(center, radius)
-        mask = (nbr_idx != idx) & (nbr_dist >= min_radius)
-        nbr_idx, nbr_dist = nbr_idx[mask], nbr_dist[mask]
+        nbr_idx, nbr_dist = masked[row]
         if len(nbr_idx) < 5:
             continue
         neighborhood = points[nbr_idx]
@@ -93,10 +126,7 @@ def sc3d_descriptors(
 
         # Density normalization: each neighbor contributes inversely to
         # the cube root of its local point density (Frome Sec. 2).
-        local_density = np.empty(len(nbr_idx))
-        for j, nbr in enumerate(nbr_idx):
-            close, _ = searcher.radius(points[nbr], min_radius * 2)
-            local_density[j] = max(len(close), 1)
+        local_density = np.array([density_of[int(nbr)] for nbr in nbr_idx])
         weights = 1.0 / np.cbrt(local_density)
 
         flat = (az_bin * _ELEVATION_BINS + el_bin) * _RADIAL_BINS + rad_bin

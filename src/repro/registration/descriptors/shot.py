@@ -83,11 +83,13 @@ def shot_descriptors(
     normals = cloud.normals
     descriptors = np.zeros((len(keypoint_indices), SHOT_DIMS))
 
+    all_neighbors, all_dists = searcher.radius_batch(
+        points[keypoint_indices], radius
+    )
     for row, idx in enumerate(keypoint_indices):
         center = points[idx]
-        nbr_idx, nbr_dist = searcher.radius(center, radius)
-        mask = nbr_idx != idx
-        nbr_idx, nbr_dist = nbr_idx[mask], nbr_dist[mask]
+        mask = all_neighbors[row] != idx
+        nbr_idx, nbr_dist = all_neighbors[row][mask], all_dists[row][mask]
         if len(nbr_idx) < 5:
             continue
         neighborhood = points[nbr_idx]

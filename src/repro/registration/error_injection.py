@@ -13,6 +13,11 @@ Injectors plug into :class:`~repro.registration.search.NeighborSearcher`
 and post-process backend results, so any stage can be degraded
 independently — dense stages (NE, RPCE) to demonstrate robustness,
 sparse KPCE to demonstrate fragility.
+
+Each injector exposes both scalar hooks (``nn``/``knn``/``radius``) and
+batched hooks (``nn_batch``/``knn_batch``/``radius_batch``) so degraded
+stages ride the batch query layer at full speed; the batched hooks
+post-process the backend's batched results identically, row by row.
 """
 
 from __future__ import annotations
@@ -36,6 +41,15 @@ class IdentityInjector:
 
     def radius(self, index, query, r, stats, sort=False):
         return index.radius(query, r, stats, sort=sort)
+
+    def nn_batch(self, index, queries, stats):
+        return index.nn_batch(queries, stats)
+
+    def knn_batch(self, index, queries, k, stats):
+        return index.knn_batch(queries, k, stats)
+
+    def radius_batch(self, index, queries, r, stats, sort=False):
+        return index.radius_batch(queries, r, stats, sort=sort)
 
 
 @dataclass(frozen=True)
@@ -66,6 +80,26 @@ class KthNeighborInjector:
     def radius(self, index, query, r, stats, sort=False):
         return index.radius(query, r, stats, sort=sort)
 
+    def nn_batch(self, index, queries, stats):
+        indices, dists = index.knn_batch(queries, self.k, stats)
+        # Rows can be padded with -1/inf (approximate backend); take the
+        # last *valid* neighbor per row, as the scalar hook does.
+        valid = indices >= 0
+        last = np.maximum(valid.sum(axis=1) - 1, 0)[:, None]
+        out_idx = np.take_along_axis(indices, last, axis=1)[:, 0]
+        out_dist = np.take_along_axis(dists, last, axis=1)[:, 0]
+        empty = ~valid.any(axis=1)
+        out_idx[empty] = -1
+        out_dist[empty] = np.inf
+        return out_idx, out_dist
+
+    def knn_batch(self, index, queries, k, stats):
+        indices, dists = index.knn_batch(queries, k + self.k - 1, stats)
+        return indices[:, self.k - 1 :], dists[:, self.k - 1 :]
+
+    def radius_batch(self, index, queries, r, stats, sort=False):
+        return index.radius_batch(queries, r, stats, sort=sort)
+
 
 @dataclass(frozen=True)
 class ShellRadiusInjector:
@@ -93,3 +127,20 @@ class ShellRadiusInjector:
         indices, dists = index.radius(query, self.r2, stats, sort=sort)
         mask = dists >= self.r1
         return indices[mask], dists[mask]
+
+    def nn_batch(self, index, queries, stats):
+        return index.nn_batch(queries, stats)
+
+    def knn_batch(self, index, queries, k, stats):
+        return index.knn_batch(queries, k, stats)
+
+    def radius_batch(self, index, queries, r, stats, sort=False):
+        all_indices, all_dists = index.radius_batch(
+            queries, self.r2, stats, sort=sort
+        )
+        out_indices, out_dists = [], []
+        for indices, dists in zip(all_indices, all_dists):
+            mask = dists >= self.r1
+            out_indices.append(indices[mask])
+            out_dists.append(dists[mask])
+        return out_indices, out_dists

@@ -6,6 +6,12 @@ Transformation Estimation (solve for the transform minimizing the error
 metric), until convergence.  The Table-1 knobs — error metric, solver,
 convergence criteria, RPCE method and reciprocity — are all exposed via
 :class:`ICPConfig`.
+
+RPCE is the heaviest NN-search consumer in the pipeline (Fig. 4a); each
+iteration issues **one batched** nearest-neighbor call over all moved
+source points (see :mod:`repro.registration.search`), the software
+analogue of the accelerator streaming a whole query batch through its
+PE array per pass.
 """
 
 from __future__ import annotations

@@ -59,8 +59,9 @@ def harris_keypoints(
     n = len(points)
     scores = np.full(n, -np.inf)
 
+    all_neighbors, _ = searcher.radius_batch(points, radius)
     for i in range(n):
-        neighbor_idx, _ = searcher.radius(points[i], radius)
+        neighbor_idx = all_neighbors[i]
         if len(neighbor_idx) < 5:
             continue
         nbr_normals = normals[neighbor_idx]

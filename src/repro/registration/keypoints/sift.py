@@ -55,12 +55,13 @@ def sift_keypoints(
     scales = sorted(set(scales))
 
     # Smooth the signal at every scale with Gaussian-weighted neighbors.
+    # One batched radius search at the widest support covers every scale.
     smoothed = np.empty((len(scales), n))
-    neighbor_cache: list[tuple[np.ndarray, np.ndarray]] = []
     max_radius = 2.0 * scales[-1]
-    for i in range(n):
-        idx, dist = searcher.radius(points[i], max_radius)
-        neighbor_cache.append((idx, dist))
+    cache_idx, cache_dist = searcher.radius_batch(points, max_radius)
+    neighbor_cache: list[tuple[np.ndarray, np.ndarray]] = list(
+        zip(cache_idx, cache_dist)
+    )
     for s, sigma in enumerate(scales):
         support = 2.0 * sigma
         for i in range(n):

@@ -76,8 +76,11 @@ def estimate_normals(
     curvature = np.zeros(n)
     viewpoint = np.asarray(config.orient_towards, dtype=np.float64)
 
+    # One batched radius search for the whole stage (the heaviest search
+    # consumer in Fig. 4 issues a single call instead of n).
+    all_neighbors, _ = searcher.radius_batch(points, config.radius)
     for i in range(n):
-        neighbor_idx, _ = searcher.radius(points[i], config.radius)
+        neighbor_idx = all_neighbors[i]
         if len(neighbor_idx) < config.min_neighbors:
             normals[i] = (0.0, 0.0, 1.0)
             continue

@@ -95,16 +95,14 @@ def reject_one_to_one(correspondences: Correspondences) -> Correspondences:
     """Keep only the closest source match for every target point."""
     if len(correspondences) == 0:
         return correspondences
+    # Vectorized first-wins scan: in distance order (stable), the first
+    # occurrence of each target is its closest source match.
     order = np.argsort(correspondences.distances, kind="stable")
-    seen: set[int] = set()
-    keep_rows = []
-    for row in order:
-        target = int(correspondences.target_indices[row])
-        if target in seen:
-            continue
-        seen.add(target)
-        keep_rows.append(row)
-    return correspondences.select(np.sort(np.array(keep_rows, dtype=np.int64)))
+    targets = correspondences.target_indices[order]
+    by_target = np.argsort(targets, kind="stable")
+    first = np.r_[True, targets[by_target][1:] != targets[by_target][:-1]]
+    keep_rows = order[by_target[first]]
+    return correspondences.select(np.sort(keep_rows.astype(np.int64)))
 
 
 def reject_ransac(

@@ -2,9 +2,10 @@
 
 Every shaded stage in paper Fig. 2 (Normal Estimation, Descriptor
 Calculation, KPCE, RPCE) funnels its neighbor queries through this
-module.  A :class:`NeighborSearcher` wraps one of three backends —
-canonical KD-tree, two-stage KD-tree, or the approximate
-leaders/followers search — behind one interface, and transparently:
+module.  A :class:`NeighborSearcher` wraps one of four backends —
+canonical KD-tree, two-stage KD-tree, the approximate
+leaders/followers search, or an exhaustive brute-force scan — behind
+one interface, and transparently:
 
 * accumulates :class:`~repro.kdtree.stats.SearchStats` (work counts for
   the accelerator model and Fig. 6);
@@ -12,6 +13,26 @@ leaders/followers search — behind one interface, and transparently:
   (the Fig. 4b KD-tree vs. other split);
 * optionally applies an error injector (Fig. 7's k-th NN and shell
   radius studies).
+
+Batch query layer
+-----------------
+Pipeline stages issue **one batched call per stage** — ``nn_batch``,
+``knn_batch`` (rectangular ``(Q, min(k, n))`` results), and
+``radius_batch`` (ragged per-query lists) — the software analogue of
+the accelerator's data-parallel PE array.  Each backend implements the
+batch entry points natively: fully vectorized chunked scans for
+brute-force, grouped-by-leaf scans behind a vectorized top-tree
+frontier for the two-stage tree, a tight loop for the canonical
+KD-tree (whose pruned traversal is inherently sequential — the very
+bottleneck the paper targets), and sequential leader-state updates for
+the approximate search.  The wrapper charges the profiler once per
+batch and counts one ``SearchStats.batches`` increment per call;
+``queries``/``results_returned`` stay exact per query, while the work
+counters (node visits, pruning) reflect the schedule actually executed
+— identical to the scalar loop for radius batches, within a percent or
+so for the two-stage NN frontier (see :mod:`repro.core.twostage`).
+Batched *results* are bit-identical to issuing the scalar methods row
+by row.
 """
 
 from __future__ import annotations
@@ -23,6 +44,7 @@ import numpy as np
 
 from repro.core.approx import ApproximateSearch, ApproximateSearchConfig
 from repro.core.twostage import TwoStageKDTree
+from repro.kdtree import bruteforce
 from repro.kdtree.stats import SearchStats
 from repro.kdtree.tree import KDTree
 from repro.profiling.timer import StageProfiler
@@ -64,59 +86,68 @@ class SearchConfig:
 
 
 class _BruteForceIndex:
-    """Adapter giving the brute-force scan the tree-search interface."""
+    """Adapter giving the brute-force scan the tree-search interface.
+
+    Scalar queries delegate to the batched kernels with a single row, so
+    batched and per-query results are bit-identical by construction.
+    """
 
     def __init__(self, points: np.ndarray):
         self._points = np.array(points, dtype=np.float64)
         if len(self._points) == 0:
             raise ValueError("cannot search an empty point set")
+        self._points_t = np.ascontiguousarray(self._points.T)
 
     @property
     def points(self) -> np.ndarray:
         return self._points
 
-    def _charge(self, stats: SearchStats | None, results: int) -> None:
+    def _charge(self, stats: SearchStats | None, queries: int, results: int) -> None:
         if stats is not None:
-            stats.nodes_visited += len(self._points)
-            stats.queries += 1
+            stats.nodes_visited += len(self._points) * queries
+            stats.queries += queries
             stats.results_returned += results
 
     def nn(self, query, stats=None):
-        diff = self._points - np.asarray(query, dtype=np.float64)
-        sq = np.einsum("ij,ij->i", diff, diff)
-        best = int(np.argmin(sq))
-        self._charge(stats, 1)
-        return best, float(np.sqrt(sq[best]))
+        indices, dists = self.nn_batch(np.atleast_2d(query), stats)
+        return int(indices[0]), float(dists[0])
 
     def knn(self, query, k, stats=None):
-        diff = self._points - np.asarray(query, dtype=np.float64)
-        sq = np.einsum("ij,ij->i", diff, diff)
-        k = min(k, len(sq))
-        top = np.argpartition(sq, k - 1)[:k] if k < len(sq) else np.arange(len(sq))
-        order = top[np.argsort(sq[top], kind="stable")]
-        self._charge(stats, k)
-        return order.astype(np.int64), np.sqrt(sq[order])
+        indices, dists = self.knn_batch(np.atleast_2d(query), k, stats)
+        return indices[0], dists[0]
 
     def radius(self, query, r, stats=None, sort=False):
-        diff = self._points - np.asarray(query, dtype=np.float64)
-        sq = np.einsum("ij,ij->i", diff, diff)
-        mask = sq <= r * r
-        indices = np.nonzero(mask)[0].astype(np.int64)
-        dists = np.sqrt(sq[mask])
-        self._charge(stats, len(indices))
-        if sort and len(indices):
-            order = np.argsort(dists, kind="stable")
-            return indices[order], dists[order]
+        indices, dists = self.radius_batch(np.atleast_2d(query), r, stats, sort=sort)
+        return indices[0], dists[0]
+
+    def nn_batch(self, queries, stats=None):
+        indices, dists = bruteforce.nn_batch(self._points, queries, self._points_t)
+        self._charge(stats, len(indices), len(indices))
+        return indices, dists
+
+    def knn_batch(self, queries, k, stats=None):
+        indices, dists = bruteforce.knn_batch(self._points, queries, k, self._points_t)
+        self._charge(stats, len(indices), indices.size)
+        return indices, dists
+
+    def radius_batch(self, queries, r, stats=None, sort=False):
+        indices, dists = bruteforce.radius_batch(self._points, queries, r, sort=sort, points_t=self._points_t)
+        self._charge(stats, len(indices), sum(len(i) for i in indices))
         return indices, dists
 
 
 class NeighborSearcher:
     """Uniform, instrumented query interface over any backend.
 
-    All pipeline stages call :meth:`nn`, :meth:`knn`, and :meth:`radius`
-    here; the wrapper forwards to the backend, times the call, and
-    accumulates work counters.  An injector (see
-    :mod:`repro.registration.error_injection`) may post-process results.
+    All pipeline stages call the batched entry points :meth:`nn_batch`,
+    :meth:`knn_batch`, and :meth:`radius_batch` — one call per stage,
+    one timer read and one ``batches`` increment per call; query and
+    result counters stay exact per query, and work counters reflect
+    the batch schedule actually executed.  The scalar methods
+    :meth:`nn`, :meth:`knn`, and :meth:`radius` remain for one-off
+    queries and produce bit-identical results.  An injector (see
+    :mod:`repro.registration.error_injection`) may post-process results
+    on either path.
     """
 
     def __init__(
@@ -140,8 +171,6 @@ class NeighborSearcher:
 
     @property
     def points(self) -> np.ndarray:
-        if isinstance(self._index, ApproximateSearch):
-            return self._index.tree.points
         return self._index.points
 
     def nn(self, query: np.ndarray) -> tuple[int, float]:
@@ -175,6 +204,100 @@ class NeighborSearcher:
         if self._profiler is not None:
             self._profiler.charge_search(time.perf_counter() - start)
         return result
+
+    # ------------------------------------------------------------------
+    # Batched queries: one timer read / injector dispatch per stage-sized
+    # batch instead of per point.  Results are bit-identical to issuing
+    # the scalar methods per row.
+    # ------------------------------------------------------------------
+
+    def nn_batch(self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Nearest neighbor for every row of ``queries``: ((Q,), (Q,))."""
+        start = time.perf_counter()
+        if self._injector is not None:
+            if hasattr(self._injector, "nn_batch"):
+                result = self._injector.nn_batch(self._index, queries, self.stats)
+            else:
+                result = self._loop_injected_nn(queries)
+        else:
+            result = self._index.nn_batch(queries, self.stats)
+        self.stats.batches += 1
+        if self._profiler is not None:
+            self._profiler.charge_search(time.perf_counter() - start)
+        return result
+
+    def knn_batch(
+        self, queries: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """kNN for every row of ``queries``: ((Q, min(k, n)), same)."""
+        start = time.perf_counter()
+        if self._injector is not None:
+            if hasattr(self._injector, "knn_batch"):
+                result = self._injector.knn_batch(self._index, queries, k, self.stats)
+            else:
+                result = self._loop_injected_knn(queries, k)
+        else:
+            result = self._index.knn_batch(queries, k, self.stats)
+        self.stats.batches += 1
+        if self._profiler is not None:
+            self._profiler.charge_search(time.perf_counter() - start)
+        return result
+
+    def radius_batch(
+        self, queries: np.ndarray, r: float, sort: bool = False
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Radius search for every row of ``queries``: ragged lists."""
+        start = time.perf_counter()
+        if self._injector is not None:
+            if hasattr(self._injector, "radius_batch"):
+                result = self._injector.radius_batch(
+                    self._index, queries, r, self.stats, sort
+                )
+            else:
+                result = self._loop_injected_radius(queries, r, sort)
+        else:
+            result = self._index.radius_batch(queries, r, self.stats, sort=sort)
+        self.stats.batches += 1
+        if self._profiler is not None:
+            self._profiler.charge_search(time.perf_counter() - start)
+        return result
+
+    # Fallbacks for third-party injectors that only define scalar hooks.
+
+    def _loop_injected_nn(self, queries):
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        indices = np.empty(len(queries), dtype=np.int64)
+        dists = np.empty(len(queries))
+        for i, query in enumerate(queries):
+            indices[i], dists[i] = self._injector.nn(self._index, query, self.stats)
+        return indices, dists
+
+    def _loop_injected_knn(self, queries, k):
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        rows = [
+            self._injector.knn(self._index, query, k, self.stats)
+            for query in queries
+        ]
+        # Rows can be ragged (approximate backend); pad to a rectangle
+        # with (-1, inf) misses like the backends' own knn_batch.
+        width = max((len(r[0]) for r in rows), default=0)
+        indices = np.full((len(rows), width), -1, dtype=np.int64)
+        dists = np.full((len(rows), width), np.inf)
+        for i, (row_idx, row_dist) in enumerate(rows):
+            indices[i, : len(row_idx)] = row_idx
+            dists[i, : len(row_dist)] = row_dist
+        return indices, dists
+
+    def _loop_injected_radius(self, queries, r, sort):
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        all_indices, all_dists = [], []
+        for query in queries:
+            indices, dists = self._injector.radius(
+                self._index, query, r, self.stats, sort
+            )
+            all_indices.append(indices)
+            all_dists.append(dists)
+        return all_indices, all_dists
 
 
 def build_searcher(

@@ -1,0 +1,1 @@
+"""Test package (unique basenames across sibling packages need importable packages)."""
