@@ -8,8 +8,6 @@ end-to-end use of the public API.
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
 from repro.geometry import metrics
 from repro.io import make_sequence
 from repro.profiling import StageProfiler
@@ -44,8 +42,15 @@ def main():
     pipeline = Pipeline(config)
 
     # 3. Register, with per-stage profiling (paper Fig. 4's view).
+    # ``pipeline.register(source, target)`` does exactly this; spelling
+    # out the two phases shows the streaming API: ``preprocess`` runs the
+    # per-frame stages once into an immutable FrameState, and ``match``
+    # runs the pairwise stages.  Sequence drivers reuse a FrameState
+    # across consecutive pairs (see examples/odometry.py).
     profiler = StageProfiler()
-    result = pipeline.register(source, target, profiler=profiler)
+    source_state = pipeline.preprocess(source, profiler=profiler)
+    target_state = pipeline.preprocess(target, profiler=profiler)
+    result = pipeline.match(source_state, target_state, profiler=profiler)
 
     print(f"\nestimated translation:    {result.transformation[:3, 3].round(3)}")
     rot_err, trans_err = metrics.pair_errors(result.transformation, ground_truth)

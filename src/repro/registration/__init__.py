@@ -39,9 +39,15 @@ from repro.registration.estimation import (
 from repro.registration.icp import ICPConfig, ICPResult, icp
 from repro.registration.keypoints import KeypointConfig, detect_keypoints
 from repro.registration.normals import NormalEstimationConfig, estimate_normals
-from repro.registration.odometry import OdometryResult, run_odometry
+from repro.registration.odometry import (
+    OdometryResult,
+    StreamingOdometry,
+    run_odometry,
+    run_streaming_odometry,
+)
 from repro.registration.pipeline import (
     STAGE_NAMES,
+    FrameState,
     Pipeline,
     PipelineConfig,
     RegistrationResult,
@@ -58,6 +64,7 @@ __all__ = [
     "Pipeline",
     "PipelineConfig",
     "RegistrationResult",
+    "FrameState",
     "register_pair",
     "STAGE_NAMES",
     "DESIGN_POINT_NAMES",
@@ -93,4 +100,6 @@ __all__ = [
     "IdentityInjector",
     "OdometryResult",
     "run_odometry",
+    "StreamingOdometry",
+    "run_streaming_odometry",
 ]

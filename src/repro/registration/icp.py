@@ -105,6 +105,7 @@ def icp(
     initial: np.ndarray | None = None,
     profiler: StageProfiler | None = None,
     searcher_factory=None,
+    range_image: RangeImage | None = None,
 ) -> ICPResult:
     """Refine ``initial`` so that ``source`` aligns onto ``target``.
 
@@ -112,7 +113,10 @@ def icp(
     ``searcher_factory`` is given, it is called once per iteration to
     produce a fresh searcher (the hook the pipeline uses to reset
     approximate-search leader state per RPCE pass, matching the
-    hardware's per-pass leader buffers).
+    hardware's per-pass leader buffers).  ``range_image`` may supply a
+    prebuilt target range image for projection RPCE — a pure function of
+    the target frame, so streaming callers build it once per frame and
+    reuse it across pairs; when omitted it is built here.
 
     Profiler stages: ``RPCE`` for correspondence search, ``Error
     Minimization`` for the solver — the names of Fig. 4a.
@@ -129,8 +133,7 @@ def icp(
     target_points = target.points
     target_normals = target.normals if target.has_normals else None
 
-    range_image: RangeImage | None = None
-    if config.rpce.method == "projection":
+    if config.rpce.method == "projection" and range_image is None:
         range_image = build_range_image(target)
 
     rmse_history: list[float] = []

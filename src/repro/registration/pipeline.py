@@ -12,11 +12,27 @@ The pipeline is also the instrumentation harness: per-stage wall time
 (Fig. 4a), KD-tree search/construction time (Fig. 4b), per-stage search
 work counters (the accelerator workload), and per-stage error injectors
 (Fig. 7) all hang off the same ``register`` call.
+
+Per-frame / pairwise split
+--------------------------
+``register`` is a composition of two public phases.  ``preprocess``
+performs every computation that depends on a *single* frame — search
+structure construction, normal estimation, key-point detection,
+descriptor calculation — and returns the artifacts as an immutable
+:class:`FrameState`.
+``match`` consumes two ``FrameState`` objects and runs the *pairwise*
+stages: KPCE, correspondence rejection, and ICP fine-tuning.  Sequence
+drivers exploit the split: pair ``k``'s source frame is exactly pair
+``k + 1``'s target frame, so a streaming caller (see
+:class:`~repro.registration.odometry.StreamingOdometry`) preprocesses
+each frame once and halves the steady-state per-pair preprocessing
+cost, with bit-identical results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import copy
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -31,15 +47,23 @@ from repro.registration.correspondence import (
 from repro.registration.descriptors import DescriptorConfig, compute_descriptors
 from repro.registration.icp import ICPConfig, ICPResult, icp
 from repro.registration.keypoints import KeypointConfig, detect_keypoints
+from repro.registration.keypoints.narf import RangeImage
 from repro.registration.normals import NormalEstimationConfig, estimate_normals
 from repro.registration.rejection import RejectionConfig, reject_correspondences
 from repro.registration.search import (
     NeighborSearcher,
     SearchConfig,
-    build_searcher,
+    build_index,
+    exact_index,
 )
 
-__all__ = ["PipelineConfig", "RegistrationResult", "Pipeline", "STAGE_NAMES"]
+__all__ = [
+    "PipelineConfig",
+    "RegistrationResult",
+    "FrameState",
+    "Pipeline",
+    "STAGE_NAMES",
+]
 
 # The seven key stages of Fig. 4a, in pipeline order.
 STAGE_NAMES = (
@@ -130,125 +154,238 @@ class RegistrationResult:
         return "\n".join(lines)
 
 
+# Stages whose work depends on one frame only — the ``preprocess`` half
+# of the split.  The first is always run; the latter two only when the
+# initial-estimation phase will need features.
+_FRAME_STAGES = ("Normal Estimation",)
+_FEATURE_STAGES = ("Key-point Detection", "Descriptor Calculation")
+
+
+@dataclass(frozen=True)
+class FrameState:
+    """Immutable per-frame artifacts produced by :meth:`Pipeline.preprocess`.
+
+    Everything here is a pure function of ``(frame, config)``: the
+    (possibly downsampled) cloud with normals attached, the neighbor
+    search structure over its points, and optionally the keypoints and
+    descriptors for the initial-estimation phase.  ``range_image`` may
+    be attached (via ``dataclasses.replace``) by callers that register
+    many sources against one fixed target with projection RPCE;
+    ``match`` builds it per call otherwise.  ``stats`` records the
+    search work the preprocessing performed, keyed by stage name, so a
+    pairwise ``match`` can account it to each pair that consumes the
+    frame exactly as the monolithic ``register`` did.
+
+    A ``FrameState`` is reusable across registrations — the whole point
+    of the split — and must therefore never be mutated;
+    :meth:`Pipeline.ensure_features` returns a *new* state when it has
+    to extend one.
+    """
+
+    cloud: PointCloud
+    index: object
+    search_config: SearchConfig
+    stats: dict[str, SearchStats]
+    keypoints: np.ndarray | None = None
+    descriptors: np.ndarray | None = None
+    range_image: RangeImage | None = None
+
+    def __len__(self) -> int:
+        return len(self.cloud)
+
+    @property
+    def has_features(self) -> bool:
+        """Whether keypoints and descriptors were computed."""
+        return self.keypoints is not None and self.descriptors is not None
+
+    def searcher(
+        self,
+        stats: SearchStats,
+        exact: bool = False,
+        fresh_approx: bool = False,
+        profiler: StageProfiler | None = None,
+        injector=None,
+    ) -> NeighborSearcher:
+        """A per-stage query view over this frame's search structure.
+
+        ``exact`` strips the approximation layer (sparse stages);
+        ``fresh_approx`` re-wraps the exact tree in a fresh
+        :class:`~repro.core.approx.ApproximateSearch` so each dense
+        stage starts with clean leader state, as in the hardware's
+        per-pass leader buffers.
+        """
+        index = self.index
+        if exact:
+            index = exact_index(index)
+        elif fresh_approx and isinstance(index, ApproximateSearch):
+            index = ApproximateSearch(index.tree, self.search_config.approx)
+        return NeighborSearcher(
+            index, stats, 0.0, profiler=profiler, injector=injector
+        )
+
+
 class Pipeline:
     """A configured registration pipeline; reusable across frame pairs."""
 
     def __init__(self, config: PipelineConfig | None = None):
         self.config = config or PipelineConfig()
 
-    def register(
-        self,
-        source: PointCloud,
-        target: PointCloud,
-        initial: np.ndarray | None = None,
-        profiler: StageProfiler | None = None,
-    ) -> RegistrationResult:
-        """Estimate the transform aligning ``source`` onto ``target``.
+    # ------------------------------------------------------------------
+    # Phase A: per-frame preprocessing -> FrameState.
+    # ------------------------------------------------------------------
 
-        ``initial``, if given, seeds the fine-tuning phase directly and
-        the initial-estimation phase is skipped (as is also the case
-        with ``config.skip_initial_estimation``).
+    def runs_initial(self, initial: np.ndarray | None = None) -> bool:
+        """Whether a pair seeded with ``initial`` runs initial estimation.
+
+        The single source of truth for :meth:`register`, :meth:`match`,
+        and streaming drivers predicting which frames need features.
+        """
+        return initial is None and not self.config.skip_initial_estimation
+
+    def preprocess(
+        self,
+        cloud: PointCloud,
+        profiler: StageProfiler | None = None,
+        with_features: bool | None = None,
+    ) -> FrameState:
+        """Run every single-frame stage over ``cloud``.
+
+        ``with_features`` controls whether the initial-estimation
+        artifacts (keypoints, descriptors) are computed; it defaults to
+        ``not config.skip_initial_estimation``.  A state built without
+        features can be extended later via :meth:`ensure_features`.
         """
         config = self.config
         profiler = profiler or StageProfiler()
-        stage_stats = {name: SearchStats() for name in STAGE_NAMES}
+        if with_features is None:
+            with_features = self.runs_initial()
+        stats = {name: SearchStats() for name in _FRAME_STAGES + _FEATURE_STAGES}
 
         if config.voxel_downsample is not None:
-            source = source.voxel_downsample(config.voxel_downsample)
-            target = target.voxel_downsample(config.voxel_downsample)
-        if len(source) == 0 or len(target) == 0:
+            cloud = cloud.voxel_downsample(config.voxel_downsample)
+        if len(cloud) == 0:
             raise ValueError("cannot register empty point clouds")
 
-        # ------------------------------------------------------------------
-        # Shared search structures.  One tree per cloud, built up front;
-        # stage-specific wrappers share it but charge their own stats.
-        # ------------------------------------------------------------------
+        # Stage 1: search structure + Normal Estimation (dense;
+        # approximate-eligible).  One tree per frame, shared by every
+        # stage view derived from this state.
         with profiler.stage("Normal Estimation"):
-            source_base = build_searcher(
-                source.points, config.search, profiler,
-                stage_stats["Normal Estimation"],
+            index, _ = build_index(cloud.points, config.search, profiler)
+            state = FrameState(
+                cloud=cloud,
+                index=index,
+                search_config=config.search,
+                stats=stats,
             )
-            target_base = build_searcher(
-                target.points, config.search, profiler,
-                stage_stats["Normal Estimation"],
-            )
-
-        approximate = config.search.backend == "approximate"
-
-        def exact_index(base: NeighborSearcher):
-            index = base.index
-            return index.tree if isinstance(index, ApproximateSearch) else index
-
-        def stage_searcher(base, stage, exact=False, fresh_approx=False):
-            index = base.index
-            if exact:
-                index = exact_index(base)
-            elif fresh_approx and isinstance(index, ApproximateSearch):
-                index = ApproximateSearch(index.tree, config.search.approx)
-            return NeighborSearcher(
-                index,
-                stage_stats[stage],
-                0.0,
-                profiler=profiler,
-                injector=config.injectors.get(stage),
-            )
-
-        # ------------------------------------------------------------------
-        # Stage 1: Normal Estimation (dense; approximate-eligible).
-        # ------------------------------------------------------------------
-        with profiler.stage("Normal Estimation"):
-            source = estimate_normals(
-                source,
-                stage_searcher(source_base, "Normal Estimation", fresh_approx=True),
+            cloud = estimate_normals(
+                cloud,
+                state.searcher(
+                    stats["Normal Estimation"],
+                    fresh_approx=True,
+                    profiler=profiler,
+                    injector=config.injectors.get("Normal Estimation"),
+                ),
                 config.normals,
             )
-            target = estimate_normals(
-                target,
-                stage_searcher(target_base, "Normal Estimation", fresh_approx=True),
-                config.normals,
+            state = replace(state, cloud=cloud)
+
+        if with_features:
+            state = self.ensure_features(state, profiler=profiler)
+        return state
+
+    def ensure_features(
+        self,
+        state: FrameState,
+        profiler: StageProfiler | None = None,
+    ) -> FrameState:
+        """Return a state that has keypoints and descriptors.
+
+        ``state`` itself is returned when it already carries features;
+        otherwise a new ``FrameState`` is built (the input is never
+        mutated — callers caching states across pairs keep whichever
+        version they hold).
+        """
+        if state.has_features:
+            return state
+        config = self.config
+        profiler = profiler or StageProfiler()
+        stats = {name: copy.copy(s) for name, s in state.stats.items()}
+        working = replace(state, stats=stats)
+
+        # Stage 2: Key-point Detection (exact search).
+        with profiler.stage("Key-point Detection"):
+            keypoints = detect_keypoints(
+                working.cloud,
+                working.searcher(
+                    stats["Key-point Detection"],
+                    exact=True,
+                    profiler=profiler,
+                    injector=config.injectors.get("Key-point Detection"),
+                ),
+                config.keypoints,
             )
+
+        # Stage 3: Descriptor Calculation (exact search).
+        with profiler.stage("Descriptor Calculation"):
+            descriptors = compute_descriptors(
+                working.cloud,
+                working.searcher(
+                    stats["Descriptor Calculation"],
+                    exact=True,
+                    profiler=profiler,
+                    injector=config.injectors.get("Descriptor Calculation"),
+                ),
+                keypoints,
+                config.descriptor,
+            )
+        return replace(working, keypoints=keypoints, descriptors=descriptors)
+
+    # ------------------------------------------------------------------
+    # Phase B: pairwise matching over two FrameStates.
+    # ------------------------------------------------------------------
+
+    def match(
+        self,
+        source_state: FrameState,
+        target_state: FrameState,
+        initial: np.ndarray | None = None,
+        profiler: StageProfiler | None = None,
+    ) -> RegistrationResult:
+        """Run the pairwise stages over two preprocessed frames.
+
+        The result's ``stage_stats`` fold in both frames' preprocessing
+        work (for the stages this pair actually consumed), so counters
+        are identical to a monolithic ``register`` call on the raw
+        frames — streaming reuse changes *when* work happens, never what
+        a pair reports.
+        """
+        config = self.config
+        profiler = profiler or StageProfiler()
 
         initial_transform = np.eye(4)
-        n_source_kp = n_target_kp = 0
-        n_feature_corr = n_inliers = 0
-
-        run_initial = initial is None and not config.skip_initial_estimation
+        run_initial = self.runs_initial(initial)
         if initial is not None:
             initial_transform = np.array(initial, dtype=np.float64)
 
         if run_initial:
-            # --------------------------------------------------------------
-            # Stage 2: Key-point Detection (exact search).
-            # --------------------------------------------------------------
-            with profiler.stage("Key-point Detection"):
-                source_kp = detect_keypoints(
-                    source,
-                    stage_searcher(source_base, "Key-point Detection", exact=True),
-                    config.keypoints,
-                )
-                target_kp = detect_keypoints(
-                    target,
-                    stage_searcher(target_base, "Key-point Detection", exact=True),
-                    config.keypoints,
-                )
-            n_source_kp, n_target_kp = len(source_kp), len(target_kp)
+            source_state = self.ensure_features(source_state, profiler=profiler)
+            target_state = self.ensure_features(target_state, profiler=profiler)
 
-            # --------------------------------------------------------------
-            # Stage 3: Descriptor Calculation (exact search).
-            # --------------------------------------------------------------
-            with profiler.stage("Descriptor Calculation"):
-                source_features = compute_descriptors(
-                    source,
-                    stage_searcher(source_base, "Descriptor Calculation", exact=True),
-                    source_kp,
-                    config.descriptor,
-                )
-                target_features = compute_descriptors(
-                    target,
-                    stage_searcher(target_base, "Descriptor Calculation", exact=True),
-                    target_kp,
-                    config.descriptor,
-                )
+        stage_stats = {name: SearchStats() for name in STAGE_NAMES}
+        consumed = _FRAME_STAGES + (_FEATURE_STAGES if run_initial else ())
+        for stage in consumed:
+            stage_stats[stage].merge(source_state.stats[stage])
+            stage_stats[stage].merge(target_state.stats[stage])
+
+        source = source_state.cloud
+        target = target_state.cloud
+        n_source_kp = n_target_kp = 0
+        n_feature_corr = n_inliers = 0
+
+        if run_initial:
+            source_kp = source_state.keypoints
+            target_kp = target_state.keypoints
+            n_source_kp, n_target_kp = len(source_kp), len(target_kp)
 
             # --------------------------------------------------------------
             # Stage 4: KPCE — feature-space matching (sparse, exact).
@@ -265,8 +402,8 @@ class Pipeline:
                         with_second=True,
                     )
                 feature_corr = estimate_feature_correspondences(
-                    source_features,
-                    target_features,
+                    source_state.descriptors,
+                    target_state.descriptors,
                     kpce_config,
                     profiler=profiler,
                     stats=stage_stats["KPCE"],
@@ -290,10 +427,25 @@ class Pipeline:
                 initial_transform = rejection.transformation
 
         # ------------------------------------------------------------------
-        # Fine-tuning: ICP (RPCE dense; approximate-eligible).
+        # Fine-tuning: ICP (RPCE dense; approximate-eligible).  The
+        # target range image (projection RPCE only) passes through from
+        # the state — worthwhile to prebuild when one target serves many
+        # sources (e.g. localization against a map); icp() builds its
+        # own otherwise, and in sequence odometry each frame is a
+        # target exactly once anyway.
         # ------------------------------------------------------------------
+        # Derived from the state's actual index, not the (mutable)
+        # config: a state preprocessed by an approximate pipeline keeps
+        # its per-pass leader resets even if the config drifted since.
+        approximate = isinstance(target_state.index, ApproximateSearch)
+
         def rpce_searcher_factory():
-            return stage_searcher(target_base, "RPCE", fresh_approx=True)
+            return target_state.searcher(
+                stage_stats["RPCE"],
+                fresh_approx=True,
+                profiler=profiler,
+                injector=config.injectors.get("RPCE"),
+            )
 
         icp_result = icp(
             source,
@@ -303,6 +455,7 @@ class Pipeline:
             initial=initial_transform,
             profiler=profiler,
             searcher_factory=rpce_searcher_factory if approximate else None,
+            range_image=target_state.range_image,
         )
 
         success = icp_result.n_correspondences >= 6 and np.all(
@@ -319,6 +472,40 @@ class Pipeline:
             n_feature_correspondences=n_feature_corr,
             n_inlier_correspondences=n_inliers,
             success=success,
+        )
+
+    # ------------------------------------------------------------------
+    # The classic one-call entry point: preprocess both, then match.
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        source: PointCloud,
+        target: PointCloud,
+        initial: np.ndarray | None = None,
+        profiler: StageProfiler | None = None,
+    ) -> RegistrationResult:
+        """Estimate the transform aligning ``source`` onto ``target``.
+
+        ``initial``, if given, seeds the fine-tuning phase directly and
+        the initial-estimation phase is skipped (as is also the case
+        with ``config.skip_initial_estimation``).
+        """
+        # Reject empty inputs before any preprocessing work; voxel
+        # downsampling cannot empty a non-empty cloud, so this is
+        # equivalent to (but cheaper than) preprocess's own check.
+        if len(source) == 0 or len(target) == 0:
+            raise ValueError("cannot register empty point clouds")
+        profiler = profiler or StageProfiler()
+        run_initial = self.runs_initial(initial)
+        source_state = self.preprocess(
+            source, profiler=profiler, with_features=run_initial
+        )
+        target_state = self.preprocess(
+            target, profiler=profiler, with_features=run_initial
+        )
+        return self.match(
+            source_state, target_state, initial=initial, profiler=profiler
         )
 
 

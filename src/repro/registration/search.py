@@ -49,7 +49,13 @@ from repro.kdtree.stats import SearchStats
 from repro.kdtree.tree import KDTree
 from repro.profiling.timer import StageProfiler
 
-__all__ = ["SearchConfig", "NeighborSearcher", "build_searcher"]
+__all__ = [
+    "SearchConfig",
+    "NeighborSearcher",
+    "build_searcher",
+    "build_index",
+    "exact_index",
+]
 
 _BACKENDS = ("canonical", "twostage", "approximate", "bruteforce")
 
@@ -300,20 +306,21 @@ class NeighborSearcher:
         return all_indices, all_dists
 
 
-def build_searcher(
+def build_index(
     points: np.ndarray,
     config: SearchConfig | None = None,
     profiler: StageProfiler | None = None,
-    stats: SearchStats | None = None,
-    injector=None,
-) -> NeighborSearcher:
-    """Construct the configured search structure over ``points``.
+) -> tuple[object, float]:
+    """Construct the raw search structure over ``points``.
 
-    Build time is charged to the profiler's active stage as KD-tree
-    construction (the middle band of Fig. 4b).
+    Returns ``(index, build_time)``.  This is the per-frame artifact the
+    pipeline's :class:`~repro.registration.pipeline.FrameState` owns and
+    reuses across registrations; :class:`NeighborSearcher` instances are
+    cheap per-stage views derived from it.  Build time is charged to the
+    profiler's active stage as KD-tree construction (the middle band of
+    Fig. 4b).
     """
     config = config or SearchConfig()
-    stats = stats if stats is not None else SearchStats()
     start = time.perf_counter()
     if config.backend == "canonical":
         index = KDTree(points, split_rule=config.split_rule)
@@ -331,6 +338,33 @@ def build_searcher(
     build_time = time.perf_counter() - start
     if profiler is not None:
         profiler.charge_construction(build_time)
+    return index, build_time
+
+
+def exact_index(index):
+    """Strip the stateful approximation layer, if any, off an index.
+
+    The sparse, error-sensitive stages (keypoints, descriptors) always
+    search the exact two-stage tree even when the pipeline runs the
+    approximate backend (paper Sec. 4.2).
+    """
+    return index.tree if isinstance(index, ApproximateSearch) else index
+
+
+def build_searcher(
+    points: np.ndarray,
+    config: SearchConfig | None = None,
+    profiler: StageProfiler | None = None,
+    stats: SearchStats | None = None,
+    injector=None,
+) -> NeighborSearcher:
+    """Construct the configured search structure over ``points``.
+
+    Build time is charged to the profiler's active stage as KD-tree
+    construction (the middle band of Fig. 4b).
+    """
+    stats = stats if stats is not None else SearchStats()
+    index, build_time = build_index(points, config, profiler)
     return NeighborSearcher(
         index, stats, build_time, profiler=profiler, injector=injector
     )

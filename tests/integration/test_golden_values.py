@@ -1,0 +1,179 @@
+"""Golden end-to-end regression values.
+
+Pins the quickstart registration transform and a short urban-scene
+odometry trajectory to stored golden values, so perf refactors (like
+the streaming split) cannot silently change results.  Both scenarios
+are fully seeded and deterministic; discrete outcomes (iteration
+counts, correspondence counts, search-work counters) are compared
+exactly, while floating-point values use a tight tolerance to absorb
+last-ulp differences across BLAS/numpy builds.
+
+Regenerate after an *intentional* accuracy change:
+
+    PYTHONPATH=src python tests/integration/test_golden_values.py --regenerate
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.geometry import metrics
+from repro.io import make_sequence
+from repro.registration import (
+    ICPConfig,
+    KeypointConfig,
+    Pipeline,
+    PipelineConfig,
+    RPCEConfig,
+    run_odometry,
+)
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_values.json")
+FLOAT_TOL = dict(rtol=1e-6, atol=1e-8)
+
+
+# ----------------------------------------------------------------------
+# The two pinned scenarios.
+# ----------------------------------------------------------------------
+
+
+def quickstart_scenario() -> dict:
+    """The examples/quickstart.py registration, field for field."""
+    sequence = make_sequence(n_frames=2, seed=42, step=1.0)
+    source, target, ground_truth = sequence.pair(0)
+    pipeline = Pipeline(
+        PipelineConfig(
+            keypoints=KeypointConfig(method="uniform", params={"voxel_size": 3.0}),
+            icp=ICPConfig(
+                rpce=RPCEConfig(max_distance=2.0),
+                error_metric="point_to_plane",
+                max_iterations=25,
+            ),
+        )
+    )
+    result = pipeline.register(source, target)
+    rot_err, trans_err = metrics.pair_errors(result.transformation, ground_truth)
+    return {
+        "transformation": result.transformation.tolist(),
+        "initial_transformation": result.initial_transformation.tolist(),
+        "rotation_error_deg": rot_err,
+        "translation_error_m": trans_err,
+        "icp_iterations": result.icp.iterations,
+        "icp_rmse": result.icp.rmse,
+        "icp_converged": result.icp.converged,
+        "n_correspondences": result.icp.n_correspondences,
+        "n_source_keypoints": result.n_source_keypoints,
+        "n_target_keypoints": result.n_target_keypoints,
+        "n_feature_correspondences": result.n_feature_correspondences,
+        "n_inlier_correspondences": result.n_inlier_correspondences,
+        "search_counters": {
+            stage: [stats.queries, stats.nodes_visited, stats.results_returned]
+            for stage, stats in result.stage_stats.items()
+        },
+    }
+
+
+def odometry_scenario() -> dict:
+    """A short urban-scene odometry run (4 frames, seeded pipeline)."""
+    sequence = make_sequence(n_frames=4, seed=7, step=1.0, yaw_rate=0.01)
+    pipeline = Pipeline(
+        PipelineConfig(
+            keypoints=KeypointConfig(
+                method="uniform", params={"voxel_size": 3.0}, min_keypoints=8
+            ),
+            icp=ICPConfig(
+                rpce=RPCEConfig(max_distance=2.0),
+                error_metric="point_to_plane",
+                max_iterations=15,
+            ),
+            skip_initial_estimation=True,
+        )
+    )
+    result = run_odometry(sequence, pipeline)
+    return {
+        "trajectory": [pose.tolist() for pose in result.trajectory],
+        "relatives": [rel.tolist() for rel in result.relatives],
+        "translational_percent": result.errors.translational_percent,
+        "rotational_deg_per_m": result.errors.rotational,
+        "per_pair_errors": [list(pair) for pair in result.per_pair_errors],
+        "icp_iterations": [r.icp.iterations for r in result.pair_results],
+        "rpce_queries": [
+            r.stage_stats["RPCE"].queries for r in result.pair_results
+        ],
+    }
+
+
+SCENARIOS = {
+    "quickstart": quickstart_scenario,
+    "odometry_urban": odometry_scenario,
+}
+
+
+# ----------------------------------------------------------------------
+# Comparison: exact for ints/bools/str, tight tolerance for floats.
+# ----------------------------------------------------------------------
+
+
+def assert_matches(actual, golden, path=""):
+    if isinstance(golden, dict):
+        assert isinstance(actual, dict), f"{path}: type changed"
+        assert set(actual) == set(golden), f"{path}: keys changed"
+        for key in golden:
+            assert_matches(actual[key], golden[key], f"{path}.{key}")
+    elif isinstance(golden, list):
+        assert len(actual) == len(golden), f"{path}: length changed"
+        for i, (a, g) in enumerate(zip(actual, golden)):
+            assert_matches(a, g, f"{path}[{i}]")
+    elif isinstance(golden, bool) or isinstance(golden, (int, str)):
+        assert actual == golden, f"{path}: {actual!r} != golden {golden!r}"
+    else:
+        np.testing.assert_allclose(
+            actual, golden, err_msg=f"{path} drifted", **FLOAT_TOL
+        )
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if not os.path.exists(GOLDEN_PATH):
+        pytest.fail(
+            f"golden file missing: {GOLDEN_PATH} — run this module with "
+            "--regenerate to create it"
+        )
+    with open(GOLDEN_PATH, encoding="utf-8") as f:
+        return json.load(f)
+
+
+class TestGoldenValues:
+    def test_quickstart_registration_pinned(self, golden):
+        assert_matches(
+            quickstart_scenario(), golden["quickstart"], "quickstart"
+        )
+
+    def test_urban_odometry_trajectory_pinned(self, golden):
+        assert_matches(
+            odometry_scenario(), golden["odometry_urban"], "odometry_urban"
+        )
+
+
+def regenerate() -> None:
+    payload = {name: fn() for name, fn in SCENARIOS.items()}
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=1)
+        f.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--regenerate", action="store_true", help="rewrite the golden file"
+    )
+    args = parser.parse_args()
+    if args.regenerate:
+        regenerate()
+    else:
+        parser.error("nothing to do; pass --regenerate")

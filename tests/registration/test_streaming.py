@@ -1,0 +1,222 @@
+"""Streaming odometry must be bit-identical to the pair-by-pair driver.
+
+The per-frame/pairwise split behind :class:`StreamingOdometry` is a
+pure refactor of computation *order*: preprocessing a frame once and
+reusing its artifacts across two pairs must produce exactly the same
+relatives, trajectory, and per-pair search-work counters as preprocessing
+it twice.  These tests enforce that property across the four synthetic
+scenes and multiple search backends; the multi-scene sweep carries the
+``slow`` marker (run with the full CI job, deselect with ``-m "not
+slow"``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    highway_scene,
+    intersection_scene,
+    make_sequence,
+    room_scene,
+    urban_scene,
+)
+from repro.registration import (
+    ICPConfig,
+    KeypointConfig,
+    Pipeline,
+    PipelineConfig,
+    RPCEConfig,
+    SearchConfig,
+    StreamingOdometry,
+    run_odometry,
+    run_streaming_odometry,
+)
+
+SCENES = ("urban", "highway", "intersection", "room")
+BACKENDS = ("twostage", "bruteforce")
+
+
+def scene_sequence(name: str, n_frames: int = 3, seed: int = 5):
+    """A short sequence through the named synthetic scene."""
+    rng = np.random.default_rng(seed)
+    step = 1.0
+    if name == "urban":
+        scene = urban_scene(rng, length=120.0)
+    elif name == "highway":
+        scene = highway_scene(rng, length=160.0)
+    elif name == "intersection":
+        scene = intersection_scene(rng)
+    else:
+        scene = room_scene()
+        step = 0.3  # stay well inside the 10 m room
+    return make_sequence(n_frames=n_frames, seed=seed, scene=scene, step=step)
+
+
+def quick_pipeline(backend: str = "twostage", **overrides) -> Pipeline:
+    config = PipelineConfig(
+        keypoints=KeypointConfig(
+            method="uniform", params={"voxel_size": 3.0}, min_keypoints=8
+        ),
+        icp=ICPConfig(
+            rpce=RPCEConfig(max_distance=2.0),
+            error_metric="point_to_plane",
+            max_iterations=10,
+        ),
+        voxel_downsample=1.0,
+        search=SearchConfig(backend=backend),
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return Pipeline(config)
+
+
+def assert_runs_identical(uncached, streaming):
+    """Bitwise equality of everything the ISSUE pins: relatives,
+    trajectory, and per-pair stage stats."""
+    assert uncached.n_pairs == streaming.n_pairs
+    for a, b in zip(uncached.relatives, streaming.relatives):
+        assert np.array_equal(a, b)
+    for a, b in zip(uncached.trajectory, streaming.trajectory):
+        assert np.array_equal(a, b)
+    for ra, rb in zip(uncached.pair_results, streaming.pair_results):
+        assert ra.stage_stats == rb.stage_stats
+        assert np.array_equal(ra.initial_transformation, rb.initial_transformation)
+        assert ra.icp.iterations == rb.icp.iterations
+        assert ra.icp.rmse == rb.icp.rmse
+        assert ra.n_source_keypoints == rb.n_source_keypoints
+        assert ra.n_feature_correspondences == rb.n_feature_correspondences
+        assert ra.n_inlier_correspondences == rb.n_inlier_correspondences
+    if uncached.errors is not None:
+        assert uncached.errors.translational == streaming.errors.translational
+        assert uncached.errors.rotational == streaming.errors.rotational
+
+
+class TestStreamingBitIdentity:
+    def test_matches_pairwise_fast(self, lidar_sequence):
+        """The always-on guard: one scene, default backend, seeded."""
+        pipeline = quick_pipeline()
+        uncached = run_odometry(lidar_sequence, pipeline)
+        streaming = run_streaming_odometry(lidar_sequence, pipeline)
+        assert_runs_identical(uncached, streaming)
+
+    def test_matches_pairwise_unseeded(self, lidar_sequence):
+        """Without the constant-velocity prior every pair runs the full
+        front end — the heaviest reuse path (features hand over too)."""
+        pipeline = quick_pipeline()
+        uncached = run_odometry(
+            lidar_sequence, pipeline, seed_with_previous=False
+        )
+        streaming = run_streaming_odometry(
+            lidar_sequence, pipeline, seed_with_previous=False
+        )
+        assert_runs_identical(uncached, streaming)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("scene", SCENES)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matches_pairwise_all_scenes(self, scene, backend):
+        sequence = scene_sequence(scene)
+        pipeline = quick_pipeline(backend=backend)
+        uncached = run_odometry(sequence, pipeline)
+        streaming = run_streaming_odometry(sequence, pipeline)
+        assert_runs_identical(uncached, streaming)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("scene", ("urban", "room"))
+    def test_full_front_end_all_pairs(self, scene):
+        """Initial estimation on every pair exercises keypoint and
+        descriptor handoff between consecutive pairs."""
+        sequence = scene_sequence(scene)
+        pipeline = quick_pipeline()
+        uncached = run_odometry(sequence, pipeline, seed_with_previous=False)
+        streaming = run_streaming_odometry(
+            sequence, pipeline, seed_with_previous=False
+        )
+        assert_runs_identical(uncached, streaming)
+
+    def test_skip_initial_estimation_mode(self, lidar_sequence):
+        pipeline = quick_pipeline(skip_initial_estimation=True)
+        uncached = run_odometry(lidar_sequence, pipeline)
+        streaming = run_streaming_odometry(lidar_sequence, pipeline)
+        assert_runs_identical(uncached, streaming)
+
+
+class TestStreamingEngine:
+    def test_push_protocol(self, lidar_sequence):
+        engine = StreamingOdometry(quick_pipeline())
+        assert engine.n_frames == 0
+        assert engine.push(lidar_sequence.frames[0]) is None
+        assert engine.n_frames == 1
+        assert engine.n_pairs == 0
+        result = engine.push(lidar_sequence.frames[1])
+        assert result is not None
+        assert result.success
+        assert engine.n_pairs == 1
+        assert len(engine.pair_seconds) == 1
+
+    def test_result_requires_two_frames(self, lidar_sequence):
+        engine = StreamingOdometry(quick_pipeline())
+        with pytest.raises(ValueError):
+            engine.result()
+        engine.push(lidar_sequence.frames[0])
+        with pytest.raises(ValueError):
+            engine.result()
+
+    def test_state_handoff(self, lidar_sequence):
+        """Pair k's source FrameState becomes pair k+1's target."""
+        engine = StreamingOdometry(quick_pipeline())
+        engine.push(lidar_sequence.frames[0])
+        first_state = engine.target_state
+        engine.push(lidar_sequence.frames[1])
+        second_state = engine.target_state
+        assert second_state is not first_state
+        engine.push(lidar_sequence.frames[2])
+        # The state cached after pair k is reused as pair k+1's target:
+        # no re-preprocess happened for that frame (object identity).
+        assert engine.target_state is not second_state
+
+    def test_preprocess_happens_once_per_frame(self, lidar_sequence):
+        """The whole point: n frames cost n preprocesses, not 2(n-1).
+
+        Counted via tree-construction charges: the streaming profiler
+        must record exactly one build per frame (plus per-iteration
+        rebuilds RPCE itself performs, absent in this config)."""
+        pipeline = quick_pipeline(skip_initial_estimation=True)
+        n = len(lidar_sequence.frames)
+        uncached = run_odometry(lidar_sequence, pipeline)
+        streaming = run_streaming_odometry(lidar_sequence, pipeline)
+        # Normal Estimation stage entries: one per preprocess.
+        uncached_calls = uncached.profiler.stages["Normal Estimation"].calls
+        streaming_calls = streaming.profiler.stages["Normal Estimation"].calls
+        assert uncached_calls == 2 * (n - 1)
+        assert streaming_calls == n
+
+    def test_result_is_snapshot(self, lidar_sequence):
+        """Later pushes must not mutate an already-returned result."""
+        engine = StreamingOdometry(quick_pipeline())
+        engine.push(lidar_sequence.frames[0])
+        engine.push(lidar_sequence.frames[1])
+        early = engine.result(lidar_sequence.poses[:2])
+        early_total = early.profiler.total
+        engine.push(lidar_sequence.frames[2])
+        assert early.n_pairs == 1
+        assert len(early.pair_seconds) == 1
+        assert early.profiler.total == early_total
+
+    def test_run_streaming_odometry_max_pairs(self, lidar_sequence):
+        result = run_streaming_odometry(
+            lidar_sequence, quick_pipeline(), max_pairs=1
+        )
+        assert result.n_pairs == 1
+        assert np.array_equal(result.trajectory[0], np.eye(4))
+
+    def test_plain_frame_list_without_ground_truth(self, lidar_sequence):
+        result = run_streaming_odometry(
+            list(lidar_sequence.frames[:2]), quick_pipeline()
+        )
+        assert result.errors is None
+        assert result.n_pairs == 1
+
+    def test_single_frame_rejected(self, lidar_sequence):
+        with pytest.raises(ValueError):
+            run_streaming_odometry([lidar_sequence.frames[0]], quick_pipeline())
