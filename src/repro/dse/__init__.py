@@ -1,17 +1,35 @@
 """Design-space exploration harness (paper Sec. 3.2, Fig. 3/4)."""
 
-from repro.dse.explorer import ExplorationReport, evaluate_config, explore
-from repro.dse.grid import SweepSpec, default_sweep, parameter_grid
-from repro.dse.pareto import DesignPointResult, is_dominated, pareto_frontier
+from repro.dse.explorer import (
+    ExplorationReport,
+    FrameStateCache,
+    evaluate_config,
+    explore,
+)
+from repro.dse.grid import (
+    SweepSpec,
+    default_sweep,
+    fingerprint_groups,
+    parameter_grid,
+)
+from repro.dse.pareto import (
+    DesignPointResult,
+    aggregate_across_scenes,
+    is_dominated,
+    pareto_frontier,
+)
 
 __all__ = [
     "DesignPointResult",
     "pareto_frontier",
     "is_dominated",
+    "aggregate_across_scenes",
     "evaluate_config",
     "explore",
     "ExplorationReport",
+    "FrameStateCache",
     "SweepSpec",
     "parameter_grid",
     "default_sweep",
+    "fingerprint_groups",
 ]

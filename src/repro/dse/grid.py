@@ -23,7 +23,12 @@ from repro.registration.pipeline import PipelineConfig
 from repro.registration.rejection import RejectionConfig
 from repro.registration.search import SearchConfig
 
-__all__ = ["SweepSpec", "parameter_grid", "default_sweep"]
+__all__ = [
+    "SweepSpec",
+    "parameter_grid",
+    "default_sweep",
+    "fingerprint_groups",
+]
 
 # The knobs a sweep specification may set, mapped to builders.  Each
 # value list entry is substituted into the base config.
@@ -137,6 +142,24 @@ def parameter_grid(spec: SweepSpec) -> Iterator[tuple[str, PipelineConfig]]:
             f"{short[k]}={assignment[k]}" for k in knob_names
         )
         yield name, _build_config(assignment)
+
+
+def fingerprint_groups(
+    configs: dict[str, PipelineConfig],
+) -> dict[tuple, dict[str, PipelineConfig]]:
+    """Group named configurations by front-end fingerprint.
+
+    Grid points that differ only in pairwise knobs (KPCE, rejection,
+    ICP) share the per-frame preprocessing — tree build, normals,
+    keypoints, descriptors — so the explorer evaluates each group with
+    one shared set of :class:`~repro.registration.pipeline.FrameState`
+    artifacts.  Insertion order is preserved within and across groups,
+    keeping reports deterministic.
+    """
+    groups: dict[tuple, dict[str, PipelineConfig]] = {}
+    for name, config in configs.items():
+        groups.setdefault(config.frontend_fingerprint(), {})[name] = config
+    return groups
 
 
 def default_sweep() -> SweepSpec:

@@ -12,7 +12,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["DesignPointResult", "pareto_frontier", "is_dominated"]
+__all__ = [
+    "DesignPointResult",
+    "pareto_frontier",
+    "is_dominated",
+    "aggregate_across_scenes",
+]
 
 
 @dataclass
@@ -22,7 +27,11 @@ class DesignPointResult:
     ``time`` is the metric being traded against ``translational_error``
     and ``rotational_error`` (seconds here; the paper normalizes to
     1500 ms).  ``detail`` carries arbitrary extra measurements (stage
-    breakdowns, search stats) for downstream analysis.
+    breakdowns, search stats, per-pair transforms) for downstream
+    analysis — never compare results through ``==`` (ndarray-laden
+    details make dataclass equality unreliable); use identity or
+    ``name``.  ``scene`` names the workload the point was measured on;
+    cross-scene aggregates leave it ``None``.
     """
 
     name: str
@@ -30,6 +39,7 @@ class DesignPointResult:
     translational_error: float
     rotational_error: float
     detail: dict = field(default_factory=dict)
+    scene: str | None = None
 
 
 def is_dominated(
@@ -70,3 +80,48 @@ def pareto_frontier(
             raise ValueError(f"invalid time for {result.name!r}: {result.time}")
     frontier = [r for r in results if not is_dominated(r, results, error_attr)]
     return sorted(frontier, key=lambda r: r.time)
+
+
+def aggregate_across_scenes(
+    scene_results: dict[str, list[DesignPointResult]],
+) -> list[DesignPointResult]:
+    """Mean-aggregate per-scene results into one point per configuration.
+
+    Every scene must have evaluated the same configuration names (the
+    explorer guarantees this).  ``time`` and both errors become the
+    arithmetic mean over scenes — the multi-scene analogue of the
+    paper averaging KITTI errors over all sequences — and the
+    per-scene points remain reachable via ``detail["per_scene"]``.
+    Aggregation order follows the first scene's result order.
+    """
+    if not scene_results:
+        return []
+    per_scene = list(scene_results.items())
+    reference = per_scene[0][1]
+    by_scene_name = {
+        scene: {r.name: r for r in results} for scene, results in per_scene
+    }
+    for scene, named in by_scene_name.items():
+        if set(named) != {r.name for r in reference}:
+            raise ValueError(
+                f"scene {scene!r} evaluated a different configuration set"
+            )
+    aggregates = []
+    for point in reference:
+        members = {
+            scene: by_scene_name[scene][point.name] for scene in by_scene_name
+        }
+        aggregates.append(
+            DesignPointResult(
+                name=point.name,
+                time=float(np.mean([m.time for m in members.values()])),
+                translational_error=float(
+                    np.mean([m.translational_error for m in members.values()])
+                ),
+                rotational_error=float(
+                    np.mean([m.rotational_error for m in members.values()])
+                ),
+                detail={"per_scene": members},
+            )
+        )
+    return aggregates

@@ -1,6 +1,12 @@
 """Point cloud data substrate: containers, file I/O, synthetic LiDAR."""
 
-from repro.io.dataset import SyntheticSequence, default_test_model, make_sequence
+from repro.io.dataset import (
+    SceneSpec,
+    SceneSuite,
+    SyntheticSequence,
+    default_test_model,
+    make_sequence,
+)
 from repro.io.kitti import read_kitti_poses, write_kitti_poses
 from repro.io.pcd import read_pcd, write_pcd
 from repro.io.pointcloud import PointCloud
@@ -28,6 +34,8 @@ __all__ = [
     "read_kitti_poses",
     "write_kitti_poses",
     "SyntheticSequence",
+    "SceneSpec",
+    "SceneSuite",
     "make_sequence",
     "default_test_model",
     "Scene",

@@ -106,9 +106,17 @@ class StageProfiler:
             "other": max(0.0, total - search - construction) / total,
         }
 
-    def merge(self, other: "StageProfiler") -> None:
-        """Fold another profiler's stages into this one."""
+    def merge(self, other: "StageProfiler", stages: tuple | None = None) -> None:
+        """Fold another profiler's stages into this one.
+
+        ``stages`` restricts the fold to the named stages — used when a
+        consumer only accounts part of a shared profile (e.g. the DSE
+        explorer attributing cached preprocess work to configurations
+        that skipped the feature stages).
+        """
         for name, timing in other.stages.items():
+            if stages is not None and name not in stages:
+                continue
             mine = self.stages.setdefault(name, StageTiming())
             mine.total += timing.total
             mine.kdtree_search += timing.kdtree_search

@@ -32,7 +32,7 @@ cost, with bit-identical results.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, is_dataclass, replace
 
 import numpy as np
 
@@ -77,6 +77,26 @@ STAGE_NAMES = (
 )
 
 
+def _canonical(value):
+    """Flatten a config value into a hashable, order-stable tuple.
+
+    Dataclass configs become ``(ClassName, (field, value), ...)`` with
+    nested dataclasses and dicts (e.g. ``KeypointConfig.params``)
+    recursively flattened; dict items are sorted by key so insertion
+    order never splits a fingerprint.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        return (type(value).__name__,) + tuple(
+            (f.name, _canonical(getattr(value, f.name)))
+            for f in fields(value)
+        )
+    if isinstance(value, dict):
+        return tuple((k, _canonical(value[k])) for k in sorted(value))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    return value
+
+
 @dataclass
 class PipelineConfig:
     """Every design knob of Table 1, plus engineering controls.
@@ -106,6 +126,36 @@ class PipelineConfig:
     injectors: dict = field(default_factory=dict)
     voxel_downsample: float | None = None
     skip_initial_estimation: bool = False
+
+    def frontend_fingerprint(self) -> tuple:
+        """Canonical key over every knob that shapes :meth:`Pipeline.preprocess`.
+
+        Two configs with equal fingerprints produce bit-identical
+        :class:`FrameState` artifacts for the same input frame — the
+        tree build, normal estimation, key-point detection, and
+        descriptor calculation read nothing else of the config.  The
+        design-space explorer keys its shared preprocess cache on this,
+        so grid points that differ only in pairwise knobs (KPCE,
+        rejection, ICP) reuse one front-end pass.
+
+        Error injectors targeting front-end stages make preprocessing
+        config-specific in ways this module cannot canonicalize, so any
+        such injector is fingerprinted by object identity: sharing then
+        happens only between configs holding the *same* injector object.
+        """
+        frontend_injectors = tuple(
+            (stage, id(self.injectors[stage]))
+            for stage in _FRAME_STAGES + _FEATURE_STAGES
+            if self.injectors.get(stage) is not None
+        )
+        return (
+            self.voxel_downsample,
+            _canonical(self.normals),
+            _canonical(self.keypoints),
+            _canonical(self.descriptor),
+            _canonical(self.search),
+            frontend_injectors,
+        )
 
 
 @dataclass

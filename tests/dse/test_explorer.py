@@ -1,8 +1,10 @@
 """Tests for the DSE driver (kept small: two cheap configs, one pair)."""
 
+import numpy as np
 import pytest
 
-from repro.dse import ExplorationReport, evaluate_config, explore
+from repro.dse import DesignPointResult, ExplorationReport, evaluate_config, explore
+from repro.io import SceneSuite, default_test_model
 from repro.registration import (
     ICPConfig,
     KeypointConfig,
@@ -70,3 +72,102 @@ class TestExplore:
         text = report.summary()
         assert "fast" in text
         assert "slow" in text
+
+    def test_detail_carries_parity_material(self, lidar_sequence):
+        report = explore({"fast": cheap_config(2)}, lidar_sequence, max_pairs=1)
+        detail = report.results[0].detail
+        assert len(detail["relatives"]) == 1
+        assert detail["relatives"][0].shape == (4, 4)
+        assert len(detail["pair_stats"]) == 1
+        assert detail["icp_iterations"][0] >= 1
+
+    def test_uncached_matches_default(self, lidar_sequence):
+        configs = {"fast": cheap_config(2), "slow": cheap_config(10)}
+        cached = explore(configs, lidar_sequence, max_pairs=1)
+        uncached = explore(configs, lidar_sequence, max_pairs=1, cached=False)
+        for a, b in zip(cached.results, uncached.results):
+            assert a.name == b.name
+            assert a.translational_error == b.translational_error
+            assert a.rotational_error == b.rotational_error
+
+
+class TestMultiScene:
+    @pytest.fixture(scope="class")
+    def report(self):
+        suite = SceneSuite.default(
+            n_frames=3,
+            model=default_test_model(azimuth_steps=100, channels=10),
+            scenes=("urban", "room"),
+        )
+        return explore(
+            {"fast": cheap_config(2), "slow": cheap_config(10)}, suite
+        )
+
+    def test_per_scene_results(self, report):
+        assert report.scenes == ("urban", "room")
+        for scene, results in report.scene_results.items():
+            assert [r.name for r in results] == ["fast", "slow"]
+            assert all(r.scene == scene for r in results)
+
+    def test_aggregate_is_cross_scene_mean(self, report):
+        for aggregate in report.results:
+            members = aggregate.detail["per_scene"]
+            assert set(members) == {"urban", "room"}
+            assert aggregate.translational_error == pytest.approx(
+                np.mean([m.translational_error for m in members.values()])
+            )
+            assert aggregate.time == pytest.approx(
+                np.mean([m.time for m in members.values()])
+            )
+            assert aggregate.scene is None
+
+    def test_per_scene_frontiers(self, report):
+        for scene in report.scenes:
+            frontiers = report.scene_frontiers[scene]
+            assert 1 <= len(frontiers["translational"]) <= 2
+            assert 1 <= len(frontiers["rotational"]) <= 2
+            assert all(
+                any(f is r for r in report.scene_results[scene])
+                for f in frontiers["translational"]
+            )
+
+    def test_scene_summary_table(self, report):
+        table = report.scene_summary()
+        assert "urban" in table
+        assert "room" in table
+        assert "aggregate" in table
+        assert "fast" in table and "slow" in table
+
+    def test_dict_of_scenes_accepted(self, lidar_sequence):
+        report = explore(
+            {"fast": cheap_config(2)},
+            {"only": lidar_sequence},
+            max_pairs=1,
+        )
+        assert report.scenes == ("only",)
+        # A single scene is reported directly, not wrapped in aggregates.
+        assert report.results[0] is report.scene_results["only"][0]
+
+
+class TestFrontierTags:
+    def ndarray_point(self, name, time, err):
+        """Equal scalar fields + ndarray-laden detail: dataclass ``==``
+        on these raises, so summary() must tag by identity."""
+        return DesignPointResult(
+            name=name,
+            time=time,
+            translational_error=err,
+            rotational_error=err,
+            detail={"relatives": [np.eye(4)]},
+        )
+
+    def test_summary_tags_by_identity(self):
+        twin_a = self.ndarray_point("twin", 1.0, 0.1)
+        twin_b = self.ndarray_point("twin", 1.0, 0.1)
+        dominated = self.ndarray_point("worse", 2.0, 0.2)
+        report = ExplorationReport(results=[twin_a, twin_b, dominated])
+        text = report.summary()
+        lines = [line for line in text.splitlines() if "worse" in line]
+        assert len(lines) == 1
+        assert "T" not in lines[0].replace("worse", "")
+        assert sum("T" in li.replace("twin", "") for li in text.splitlines()) == 2

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dse import SweepSpec, default_sweep, parameter_grid
+from repro.dse import SweepSpec, default_sweep, fingerprint_groups, parameter_grid
 from repro.registration import PipelineConfig
 
 
@@ -55,3 +55,73 @@ class TestParameterGrid:
         assert len(points) == 8
         methods = {c.keypoints.method for _, c in points}
         assert methods == {"uniform", "harris"}
+
+    def test_naming_is_deterministic(self):
+        """Two expansions of the same spec yield identical names in
+        identical order — DSE results stay traceable across runs."""
+        spec = SweepSpec(normal_radius=[0.3, 0.6], icp_max_iterations=[5, 10])
+        first = [name for name, _ in parameter_grid(spec)]
+        second = [name for name, _ in parameter_grid(spec)]
+        assert first == second
+        assert len(set(first)) == len(first)
+
+
+class TestFingerprintGroups:
+    def test_default_sweep_groups_by_frontend(self):
+        """The default sweep varies one front-end knob (normal_radius,
+        2 values) and two pairwise knobs — 8 configs, 2 groups of 4."""
+        configs = dict(parameter_grid(default_sweep()))
+        groups = fingerprint_groups(configs)
+        assert len(configs) == 8
+        assert len(groups) == 2
+        assert sorted(len(g) for g in groups.values()) == [4, 4]
+        regrouped = [name for group in groups.values() for name in group]
+        assert sorted(regrouped) == sorted(configs)
+
+    def test_frontend_knob_splits_groups(self):
+        spec = SweepSpec(
+            descriptor_radius=[0.8, 1.0, 1.2], icp_max_iterations=[5, 10]
+        )
+        groups = fingerprint_groups(dict(parameter_grid(spec)))
+        assert len(groups) == 3
+        assert all(len(g) == 2 for g in groups.values())
+
+    def test_identical_configs_share_fingerprint(self):
+        a = PipelineConfig()
+        b = PipelineConfig()
+        assert a.frontend_fingerprint() == b.frontend_fingerprint()
+        groups = fingerprint_groups({"a": a, "b": b})
+        assert len(groups) == 1
+
+    def test_pairwise_knobs_do_not_split(self):
+        from repro.registration import ICPConfig
+
+        a = PipelineConfig(icp=ICPConfig(max_iterations=5))
+        b = PipelineConfig(icp=ICPConfig(max_iterations=50))
+        assert a.frontend_fingerprint() == b.frontend_fingerprint()
+
+    def test_frontend_injector_isolates_config(self):
+        class FakeInjector:
+            pass
+
+        injector = FakeInjector()
+        plain = PipelineConfig()
+        with_injector = PipelineConfig(
+            injectors={"Normal Estimation": injector}
+        )
+        same_injector = PipelineConfig(
+            injectors={"Normal Estimation": injector}
+        )
+        assert plain.frontend_fingerprint() != with_injector.frontend_fingerprint()
+        assert (
+            with_injector.frontend_fingerprint()
+            == same_injector.frontend_fingerprint()
+        )
+
+    def test_pairwise_injector_does_not_split(self):
+        class FakeInjector:
+            pass
+
+        a = PipelineConfig(injectors={"RPCE": FakeInjector()})
+        b = PipelineConfig(injectors={"RPCE": FakeInjector()})
+        assert a.frontend_fingerprint() == b.frontend_fingerprint()

@@ -1,0 +1,174 @@
+"""Cached/parallel exploration must be bit-identical to the seed path.
+
+The shared-artifact explorer reorders *when* preprocessing happens
+(once per (fingerprint, scene, frame) instead of twice per pair per
+config) and, with ``workers > 1``, *where* (across processes).  Neither
+may change what a configuration reports: errors, per-pair transforms,
+ICP iteration counts, and per-pair search/stage stats are pinned
+bitwise against the sequential seed path over two scenes and two
+search backends — the ISSUE 3 acceptance gate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dse import FrameStateCache, explore
+from repro.dse.explorer import _evaluate_group
+from repro.io import SceneSuite, default_test_model
+from repro.registration import (
+    ICPConfig,
+    KeypointConfig,
+    PipelineConfig,
+    RPCEConfig,
+    SearchConfig,
+)
+
+BACKENDS = ("twostage", "bruteforce")
+
+
+def parity_config(
+    backend: str, max_iterations: int, skip: bool = False
+) -> PipelineConfig:
+    return PipelineConfig(
+        keypoints=KeypointConfig(
+            method="uniform", params={"voxel_size": 3.0}, min_keypoints=8
+        ),
+        icp=ICPConfig(
+            rpce=RPCEConfig(max_distance=1.5), max_iterations=max_iterations
+        ),
+        search=SearchConfig(backend=backend),
+        voxel_downsample=1.2,
+        skip_initial_estimation=skip,
+    )
+
+
+@pytest.fixture(scope="module")
+def suite() -> SceneSuite:
+    """Two scenes (feature-rich outdoor + indoor), scaled-down scans."""
+    return SceneSuite.default(
+        n_frames=3,
+        model=default_test_model(azimuth_steps=120, channels=12),
+        scenes=("urban", "room"),
+    )
+
+
+@pytest.fixture(scope="module")
+def configs() -> dict[str, PipelineConfig]:
+    """Two backends x (two shared-front-end configs + one skip-initial).
+
+    Per backend the three configs share one fingerprint (pairwise knobs
+    and ``skip_initial_estimation`` are not front-end), so the cached
+    path reuses each frame's artifacts across all three — including the
+    mixed case of a feature-carrying state consumed by a config that
+    never reads features.
+    """
+    named = {}
+    for backend in BACKENDS:
+        named[f"{backend}-short"] = parity_config(backend, 3)
+        named[f"{backend}-long"] = parity_config(backend, 8)
+        named[f"{backend}-skip"] = parity_config(backend, 3, skip=True)
+    return named
+
+
+@pytest.fixture(scope="module")
+def seed_report(configs, suite):
+    return explore(configs, suite, cached=False)
+
+
+@pytest.fixture(scope="module")
+def cached_report(configs, suite):
+    return explore(configs, suite, cached=True)
+
+
+@pytest.fixture(scope="module")
+def parallel_report(configs, suite):
+    return explore(configs, suite, cached=True, workers=2)
+
+
+def assert_results_identical(reference, candidate):
+    """Everything except wall-clock must match bitwise."""
+    assert reference.name == candidate.name
+    assert reference.scene == candidate.scene
+    assert reference.translational_error == candidate.translational_error
+    assert reference.rotational_error == candidate.rotational_error
+    assert reference.detail["errors"] == candidate.detail["errors"]
+    assert len(reference.detail["relatives"]) == len(candidate.detail["relatives"])
+    for a, b in zip(reference.detail["relatives"], candidate.detail["relatives"]):
+        assert np.array_equal(a, b)
+    assert reference.detail["pair_stats"] == candidate.detail["pair_stats"]
+    assert reference.detail["icp_iterations"] == candidate.detail["icp_iterations"]
+
+
+def assert_reports_identical(reference, candidate):
+    assert reference.scenes == candidate.scenes
+    for scene in reference.scenes:
+        ref_points = reference.scene_results[scene]
+        cand_points = candidate.scene_results[scene]
+        assert [r.name for r in ref_points] == [r.name for r in cand_points]
+        for a, b in zip(ref_points, cand_points):
+            assert_results_identical(a, b)
+
+
+class TestCachedParity:
+    def test_bit_identical_to_seed(self, seed_report, cached_report):
+        assert_reports_identical(seed_report, cached_report)
+
+    def test_aggregate_errors_match(self, seed_report, cached_report):
+        for a, b in zip(seed_report.results, cached_report.results):
+            assert a.name == b.name
+            assert a.translational_error == b.translational_error
+            assert a.rotational_error == b.rotational_error
+
+    def test_profiler_accounting_matches_seed(self, seed_report, cached_report):
+        """Shared preprocessing must be *attributed* per config exactly
+        as the seed path spends it: same stage set, same call counts
+        (interior frames charged to both consuming pairs)."""
+        for scene in seed_report.scenes:
+            for a, b in zip(
+                seed_report.scene_results[scene],
+                cached_report.scene_results[scene],
+            ):
+                seed_stages = a.detail["profiler"].stages
+                cached_stages = b.detail["profiler"].stages
+                assert set(seed_stages) == set(cached_stages)
+                for stage, timing in seed_stages.items():
+                    assert timing.calls == cached_stages[stage].calls, (
+                        a.name,
+                        stage,
+                    )
+
+
+class TestParallelParity:
+    def test_bit_identical_to_seed(self, seed_report, parallel_report):
+        assert_reports_identical(seed_report, parallel_report)
+
+    def test_worker_count_does_not_change_results(
+        self, configs, suite, parallel_report
+    ):
+        four = explore(configs, suite, cached=True, workers=4)
+        assert_reports_identical(parallel_report, four)
+
+
+class TestFrameStateCache:
+    def test_hit_miss_accounting(self):
+        cache = FrameStateCache()
+        builds = []
+        for _ in range(3):
+            cache.get(("fp", "urban", 0), lambda: builds.append(1) or ("s", "p"))
+        assert cache.misses == 1
+        assert cache.hits == 2
+        assert len(builds) == 1
+        assert len(cache) == 1
+
+    def test_group_reuses_states_across_calls(self, suite):
+        """A second evaluation of the same fingerprint/scene reuses the
+        cached FrameStates (object identity, zero extra preprocesses)."""
+        sequence = suite.sequence("urban")
+        named = {"short": parity_config("twostage", 3)}
+        cache = FrameStateCache()
+        first = _evaluate_group(named, sequence, "urban", None, cache)
+        misses_after_first = cache.misses
+        second = _evaluate_group(named, sequence, "urban", None, cache)
+        assert cache.misses == misses_after_first
+        assert cache.hits == misses_after_first
+        assert_results_identical(first[0], second[0])

@@ -85,3 +85,69 @@ class TestValidation:
     def test_default_test_model_is_small(self):
         model = default_test_model()
         assert model.channels * model.azimuth_steps < 10_000
+
+
+class TestSceneSuite:
+    def small_suite(self, **kwargs):
+        from repro.io import SceneSuite
+
+        return SceneSuite.default(
+            n_frames=2,
+            model=default_test_model(azimuth_steps=60, channels=6),
+            **kwargs,
+        )
+
+    def test_default_has_four_scenes(self):
+        suite = self.small_suite()
+        assert suite.names == ("urban", "highway", "intersection", "room")
+        assert len(suite) == 4
+        assert "urban" in suite and "desert" not in suite
+
+    def test_sequences_are_lazy_and_cached(self):
+        suite = self.small_suite()
+        assert not suite._sequences
+        first = suite.sequence("room")
+        assert suite.sequence("room") is first
+        assert len(first) == 2
+
+    def test_scene_subset(self):
+        suite = self.small_suite(scenes=("urban", "room"))
+        assert suite.names == ("urban", "room")
+        with pytest.raises(ValueError):
+            self.small_suite(scenes=("urban", "nope"))
+
+    def test_unknown_scene_rejected(self):
+        with pytest.raises(KeyError):
+            self.small_suite().sequence("nope")
+
+    def test_items_yields_all(self):
+        suite = self.small_suite(scenes=("urban", "room"))
+        names = [name for name, seq in suite.items() if len(seq) == 2]
+        assert names == ["urban", "room"]
+
+    def test_sequences_deterministic(self):
+        import numpy as np
+
+        a = self.small_suite().sequence("intersection")
+        b = self.small_suite().sequence("intersection")
+        assert np.array_equal(a.frames[0].points, b.frames[0].points)
+
+    def test_custom_spec(self):
+        from repro.io import SceneSpec, SceneSuite
+        from repro.io.synthetic import room_scene
+
+        suite = SceneSuite(
+            {"tiny": SceneSpec(lambda rng: room_scene(size=6.0), step=0.2)},
+            n_frames=2,
+            model=default_test_model(azimuth_steps=60, channels=6),
+        )
+        assert suite.names == ("tiny",)
+        assert len(suite.sequence("tiny")) == 2
+
+    def test_validation(self):
+        from repro.io import SceneSuite
+
+        with pytest.raises(ValueError):
+            SceneSuite({})
+        with pytest.raises(ValueError):
+            self.small_suite().__class__.default(n_frames=1)
