@@ -136,8 +136,12 @@ def main() -> int:
 
     configs = dict(parameter_grid(default_sweep()))
     groups = fingerprint_groups(configs)
+    # The four classic odometry workloads; urban_loop belongs to the
+    # mapping bench (closed circuits measure drift, not sweep cost).
     suite = SceneSuite.default(
-        n_frames=args.frames, model=default_test_model()
+        n_frames=args.frames,
+        model=default_test_model(),
+        scenes=("urban", "highway", "intersection", "room"),
     )
     timings = run_paths(configs, suite, workers=workers)
     print(

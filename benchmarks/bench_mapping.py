@@ -1,0 +1,166 @@
+"""Open-loop vs loop-closed mapping on the urban_loop circuit.
+
+Runs the same registration pipeline over the ``urban_loop`` suite
+sequence (two laps around a synthetic intersection) through three
+drivers:
+
+``open-loop``
+    :func:`~repro.registration.run_streaming_odometry` — chained
+    pairwise registrations, drift accumulates unbounded.
+``mapper (no loop closure)``
+    :class:`~repro.mapping.StreamingMapper` with closure disabled —
+    measures the subsystem's bookkeeping overhead (keyframes + voxel
+    map) over bare streaming odometry; its trajectory must be
+    bit-identical to the open-loop driver's.
+``mapper``
+    The full SLAM engine: keyframes, pose-proximity loop closure,
+    SE(3) pose-graph optimization, re-anchored voxel map.
+
+The headline numbers are the absolute trajectory errors (ATE) and the
+drift-reduction ratio; the acceptance bar is a mapped ATE at most 0.5x
+the open-loop ATE with at least one verified closure.
+
+Run standalone to (re)record the baseline:
+
+    PYTHONPATH=src python benchmarks/bench_mapping.py \
+        [--frames 48] [--out benchmarks/BENCH_mapping.json]
+
+``--smoke`` runs the assertions without writing the JSON (the fast CI
+sanity pass).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.geometry import metrics
+from repro.io import SceneSuite, default_test_model
+from repro.mapping import (
+    StreamingMapper,
+    urban_loop_mapper_config,
+    urban_loop_pipeline,
+)
+from repro.registration import run_streaming_odometry
+
+# The reference configuration lives in repro.mapping.presets so the
+# example, the golden regression scenario, the acceptance tests, and
+# this bench measure the same system.
+ACCEPTANCE_RATIO = 0.5
+
+
+def run_mapper(sequence, enable_loop_closure: bool):
+    mapper = StreamingMapper(
+        urban_loop_pipeline(),
+        urban_loop_mapper_config(enable_loop_closure=enable_loop_closure),
+    )
+    start = time.perf_counter()
+    for frame in sequence.frames:
+        mapper.push(frame)
+    return mapper, time.perf_counter() - start
+
+
+def bench(frames: int) -> dict:
+    suite = SceneSuite.default(n_frames=frames, model=default_test_model())
+    sequence = suite.sequence("urban_loop")
+
+    start = time.perf_counter()
+    open_loop = run_streaming_odometry(sequence, urban_loop_pipeline())
+    open_seconds = time.perf_counter() - start
+    ate_open = metrics.absolute_trajectory_error(
+        open_loop.trajectory, sequence.poses
+    )
+
+    mapper, mapper_seconds = run_mapper(sequence, enable_loop_closure=True)
+    ate_mapped = metrics.absolute_trajectory_error(
+        mapper.trajectory(), sequence.poses
+    )
+
+    passthrough, passthrough_seconds = run_mapper(
+        sequence, enable_loop_closure=False
+    )
+    identical = all(
+        np.array_equal(ours, reference)
+        for ours, reference in zip(
+            passthrough.trajectory(), open_loop.trajectory
+        )
+    )
+    if not identical:
+        raise AssertionError(
+            "mapper without loop closure diverged from streaming odometry"
+        )
+
+    stats = mapper.stats
+    ratio = ate_mapped / ate_open
+    result = {
+        "scene": "urban_loop (2 laps, radius 5 m, intersection seed 11)",
+        "n_frames": len(sequence),
+        "points_per_frame": int(
+            np.mean([len(frame) for frame in sequence.frames])
+        ),
+        "ate_open_loop_m": round(ate_open, 4),
+        "ate_mapped_m": round(ate_mapped, 4),
+        "ate_ratio": round(ratio, 4),
+        "n_keyframes": stats.n_keyframes,
+        "n_loop_closures": stats.n_loop_closures,
+        "n_optimizations": stats.n_optimizations,
+        "map_voxels": stats.n_map_voxels,
+        "map_points": stats.n_map_points,
+        "open_loop_s": round(open_seconds, 2),
+        "mapper_s": round(mapper_seconds, 2),
+        "mapper_no_closure_s": round(passthrough_seconds, 2),
+        # How much the mapping layers cost on top of bare odometry.
+        "bookkeeping_overhead": round(passthrough_seconds / open_seconds, 3),
+        "full_mapper_overhead": round(mapper_seconds / open_seconds, 3),
+        "loop_closure_s": round(stats.loop_seconds, 2),
+        "optimize_s": round(stats.optimize_seconds, 2),
+        "no_closure_trajectory_bit_identical": identical,
+        "acceptance": {
+            "criterion": (
+                f"mapped ATE <= {ACCEPTANCE_RATIO}x open-loop ATE with >= 1 "
+                "verified loop closure; closure-disabled trajectory "
+                "bit-identical to streaming odometry"
+            ),
+            "met": bool(
+                ratio <= ACCEPTANCE_RATIO
+                and stats.n_loop_closures >= 1
+                and identical
+            ),
+        },
+    }
+    print(
+        f"urban_loop x {len(sequence)} frames: open ATE {ate_open:.3f} m "
+        f"({open_seconds:.1f}s) -> mapped {ate_mapped:.3f} m "
+        f"({mapper_seconds:.1f}s), ratio {ratio:.2f}x, "
+        f"{stats.n_loop_closures} closures over {stats.n_keyframes} keyframes"
+    )
+    return result
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=48,
+                        help="circuit length (2 laps; keep ~24 frames/lap)")
+    parser.add_argument("--out", default="benchmarks/BENCH_mapping.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="assert acceptance without rewriting the JSON")
+    args = parser.parse_args()
+
+    result = bench(args.frames)
+    met = result["acceptance"]["met"]
+    if args.smoke:
+        print(f"smoke OK: acceptance met: {met}")
+        return 0 if met else 1
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}; acceptance met: {met}")
+    return 0 if met else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,7 +33,7 @@ def main():
         "--scene",
         default="urban",
         help="scene name(s), comma-separated, or 'all' for the full suite "
-        "(urban, highway, intersection, room)",
+        "(urban, highway, intersection, room, urban_loop)",
     )
     parser.add_argument("--workers", type=int, default=1,
                         help="process-pool width for the exploration")

@@ -1,97 +1,103 @@
-"""3D reconstruction: fuse a scanned sequence into one global map
+"""Streaming SLAM: loop-closed 3D reconstruction of a scanned circuit
 (paper Sec. 2.2: "registration is key to 3D reconstruction, where a set
 of frames are aligned against one another and merged together").
 
-An indoor room is scanned from several poses; frames are registered
-pairwise, poses chained, and all frames merged into a single global
-cloud, which is voxel-compacted and written out as a PCD file.
+A LiDAR drives laps around a synthetic urban intersection while a
+:class:`~repro.mapping.StreamingMapper` ingests the frames one at a
+time: streaming odometry registers each frame against its predecessor,
+keyframes retain the preprocessed artifacts, revisits are detected by
+pose proximity and verified through the registration pipeline, the
+SE(3) pose graph redistributes the accumulated drift, and an
+incremental voxel map fuses everything into one global cloud, which is
+written out as a PCD file.
 
-Run:  python examples/mapping.py [--out map.pcd]
+The printed drift table compares the open-loop odometry trajectory
+(chained pairwise registrations — what ``--no-loop-closure`` leaves you
+with) against the loop-closed one.
+
+Run:  python examples/mapping.py [--out map.pcd] [--no-loop-closure]
 """
 
 import argparse
 
 import numpy as np
 
-from repro.geometry import metrics, se3
-from repro.io import LidarModel, PointCloud, room_scene, scan, write_pcd
-from repro.registration import (
-    ICPConfig,
-    KeypointConfig,
-    Pipeline,
-    PipelineConfig,
-    RPCEConfig,
+from repro.geometry import metrics
+from repro.io import (
+    default_test_model,
+    intersection_scene,
+    loop_trajectory,
+    make_sequence,
+    write_pcd,
 )
-
-
-def scan_room(n_frames: int = 4):
-    """Scan a room while rotating in place at its center."""
-    scene = room_scene(size=10.0, height=3.0)
-    model = LidarModel(
-        channels=24,
-        azimuth_steps=240,
-        vertical_fov_deg=(-30.0, 25.0),
-        max_range=30.0,
-        range_noise_std=0.01,
-        dropout_rate=0.0,
-    )
-    rng = np.random.default_rng(1)
-    poses = [
-        se3.make_transform(se3.rot_z(i * np.radians(12.0)), [0.3 * i, 0.1 * i, 1.4])
-        for i in range(n_frames)
-    ]
-    frames = [scan(scene, pose, model, rng) for pose in poses]
-    return frames, poses
+from repro.mapping import (
+    StreamingMapper,
+    urban_loop_mapper_config,
+    urban_loop_pipeline,
+)
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="room_map.pcd")
-    parser.add_argument("--frames", type=int, default=4)
+    parser.add_argument("--out", default="urban_loop_map.pcd")
+    parser.add_argument("--frames", type=int, default=48,
+                        help="frames over the whole circuit")
+    parser.add_argument("--laps", type=int, default=2,
+                        help="laps around the circuit (keep ~24 frames/lap)")
+    parser.add_argument("--no-loop-closure", action="store_true",
+                        help="open-loop mapping: show the uncorrected drift")
     args = parser.parse_args()
 
-    frames, gt_poses = scan_room(args.frames)
-    print(f"scanned {len(frames)} frames, ~{len(frames[0])} points each")
-
-    pipeline = Pipeline(
-        PipelineConfig(
-            keypoints=KeypointConfig(method="uniform", params={"voxel_size": 1.5}),
-            icp=ICPConfig(
-                rpce=RPCEConfig(max_distance=0.8),
-                error_metric="point_to_plane",
-                max_iterations=40,
-                transformation_epsilon=1e-7,
-            ),
-            skip_initial_estimation=True,
-        )
+    # The SceneSuite's urban_loop workload (intersection scene, seed 11,
+    # 2 laps of a radius-5 circuit), with the lap count adjustable.
+    rng = np.random.default_rng(11)
+    sequence = make_sequence(
+        n_frames=args.frames,
+        seed=11,
+        scene=intersection_scene(rng),
+        model=default_test_model(),
+        poses=loop_trajectory(args.frames, radius=5.0, laps=args.laps),
     )
-
-    # Register each frame against its predecessor; chain into map poses.
-    relatives = []
-    for index in range(len(frames) - 1):
-        result = pipeline.register(frames[index + 1], frames[index])
-        relatives.append(result.transformation)
-        gt_rel = se3.compose(se3.invert(gt_poses[index]), gt_poses[index + 1])
-        rot_err, trans_err = metrics.pair_errors(result.transformation, gt_rel)
-        print(
-            f"frame {index + 1} -> {index}: {result.icp}  "
-            f"(err {rot_err:.2f} deg / {trans_err * 100:.1f} cm)"
-        )
-
-    estimated_poses = metrics.trajectory_from_relative(relatives)
-
-    # Merge everything into frame 0's coordinate system.
-    global_map = PointCloud(frames[0].points.copy())
-    for frame, pose in zip(frames[1:], estimated_poses[1:]):
-        global_map = global_map.concatenate(frame.transformed(pose))
-    compact = global_map.voxel_downsample(0.05)
     print(
-        f"\nglobal map: {len(global_map)} raw points -> "
-        f"{len(compact)} after 5 cm voxel compaction"
+        f"scanned {len(sequence)} frames over {args.laps} lap(s) of the "
+        f"urban_loop circuit, ~{len(sequence.frames[0])} points each"
     )
-    print(f"map extent: {np.round(compact.extent(), 2)} m (room is 10x10x3)")
 
-    write_pcd(args.out, compact)
+    mapper = StreamingMapper(
+        urban_loop_pipeline(),
+        urban_loop_mapper_config(
+            enable_loop_closure=not args.no_loop_closure
+        ),
+    )
+    for index, frame in enumerate(sequence.frames):
+        result = mapper.push(frame)
+        if result is not None and not result.success:
+            print(f"  warning: pair {index - 1} -> {index} failed to register")
+    print(mapper.stats.summary())
+
+    # The mapper's own odometry chain is the open-loop trajectory — the
+    # drift comparison costs nothing extra.
+    open_loop = metrics.trajectory_from_relative(mapper.odometry.relatives)
+    ate_open = metrics.absolute_trajectory_error(open_loop, sequence.poses)
+    ate_map = metrics.absolute_trajectory_error(
+        mapper.trajectory(), sequence.poses
+    )
+    print(f"\nabsolute trajectory error (ATE, RMSE over {len(sequence)} poses):")
+    print(f"  open-loop odometry : {ate_open:.3f} m")
+    print(f"  loop-closed mapping: {ate_map:.3f} m", end="")
+    if ate_open > 0:
+        print(f"  ({ate_map / ate_open:.2f}x)")
+    else:
+        print()
+
+    global_map = mapper.global_map()
+    print(
+        f"\nglobal map: {mapper.stats.n_map_points} fused points in "
+        f"{mapper.stats.n_map_voxels} voxels"
+    )
+    print(f"map extent: {np.round(global_map.extent(), 2)} m")
+
+    write_pcd(args.out, global_map)
     print(f"wrote {args.out}")
     return 0
 

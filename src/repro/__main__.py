@@ -31,6 +31,7 @@ def cmd_info() -> int:
         ("repro.kdtree", "canonical KD-tree"),
         ("repro.core", "two-stage KD-tree + approximate search (Sec. 4)"),
         ("repro.registration", "the configurable pipeline (Fig. 2, Tbl. 1)"),
+        ("repro.mapping", "streaming SLAM: loop closure, pose graph, map"),
         ("repro.accel", "Tigris accelerator model + baselines (Sec. 5/6)"),
         ("repro.dse", "design-space exploration (Sec. 3.2)"),
     ):

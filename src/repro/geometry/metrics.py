@@ -23,6 +23,7 @@ __all__ = [
     "trajectory_distances",
     "SequenceErrors",
     "kitti_sequence_errors",
+    "absolute_trajectory_error",
     "rmse",
     "fitness",
 ]
@@ -157,6 +158,33 @@ def kitti_sequence_errors(
     translational = float(np.mean([t for t, _ in samples]))
     rotational = float(np.mean([r for _, r in samples]))
     return SequenceErrors(translational, rotational, samples)
+
+
+def absolute_trajectory_error(
+    estimated_trajectory: list[np.ndarray],
+    ground_truth_trajectory: list[np.ndarray],
+) -> float:
+    """Absolute trajectory error (ATE): RMSE of per-pose translation gaps.
+
+    Both trajectories are first re-expressed relative to their own
+    initial pose, so the comparison is origin-aligned (estimates
+    conventionally start at identity while ground truth starts at the
+    sensor's world pose).  Unlike the KITTI relative metrics this is a
+    *global* measure: open-loop drift accumulates into it, which makes
+    it the standard score for loop-closing SLAM (Sturm et al., 2012).
+    """
+    if len(estimated_trajectory) != len(ground_truth_trajectory):
+        raise ValueError("trajectory lengths differ")
+    if not estimated_trajectory:
+        raise ValueError("need at least one pose")
+    est_origin = se3.invert(estimated_trajectory[0])
+    gt_origin = se3.invert(ground_truth_trajectory[0])
+    gaps = [
+        se3.translation_part(se3.compose(est_origin, estimate))
+        - se3.translation_part(se3.compose(gt_origin, truth))
+        for estimate, truth in zip(estimated_trajectory, ground_truth_trajectory)
+    ]
+    return float(np.sqrt(np.mean(np.sum(np.square(gaps), axis=1))))
 
 
 def _frame_at_distance(distances: np.ndarray, start: int, length: float) -> int:

@@ -8,6 +8,14 @@ utilities the registration pipeline builds on, plus conversions between
 rotation parameterizations (matrix, axis-angle, Euler, quaternion) used by
 the solvers and by the synthetic trajectory generator.
 
+It also implements the matrix Lie-group maps :func:`exp` and :func:`log`
+between SE(3) and its tangent space se(3).  Twists are 6-vectors
+``[rho, phi]`` — translation part first, rotation part last — which is
+the minimal parameterization the pose-graph optimizer in
+:mod:`repro.mapping.pose_graph` perturbs and the right representation
+for interpolating or averaging rigid transforms.  Both maps switch to
+Taylor expansions near the identity so tiny updates round-trip stably.
+
 All functions accept and return ``numpy`` arrays with ``float64`` dtype and
 never mutate their inputs.
 """
@@ -35,6 +43,9 @@ __all__ = [
     "axis_angle_to_rotation",
     "rotation_to_axis_angle",
     "rotation_angle",
+    "skew",
+    "exp",
+    "log",
     "quaternion_to_rotation",
     "rotation_to_quaternion",
     "random_rotation",
@@ -237,6 +248,118 @@ def rotation_angle(rotation: np.ndarray) -> float:
     rotation = np.asarray(rotation, dtype=np.float64)
     trace = np.clip((np.trace(rotation) - 1.0) / 2.0, -1.0, 1.0)
     return float(np.arccos(trace))
+
+
+def skew(vector: np.ndarray) -> np.ndarray:
+    """The 3x3 skew-symmetric (cross-product) matrix of a 3-vector.
+
+    ``skew(a) @ b == np.cross(a, b)``; the Lie-algebra generator matrix
+    underlying both :func:`exp` and :func:`axis_angle_to_rotation`.
+    """
+    v = np.asarray(vector, dtype=np.float64).reshape(3)
+    return np.array(
+        [
+            [0.0, -v[2], v[1]],
+            [v[2], 0.0, -v[0]],
+            [-v[1], v[0], 0.0],
+        ],
+        dtype=np.float64,
+    )
+
+
+# Below this rotation angle the closed-form exp/log coefficients lose
+# precision to cancellation; both maps switch to their Taylor series.
+_SMALL_ANGLE = 1e-6
+
+
+def _so3_left_jacobian(phi: np.ndarray) -> np.ndarray:
+    """The SO(3) left Jacobian V(phi): translation coupling of exp."""
+    theta = float(np.linalg.norm(phi))
+    k = skew(phi)
+    if theta < _SMALL_ANGLE:
+        # V = I + K/2 + K^2/6 - ... truncated; exact to O(theta^3).
+        return np.eye(3) + 0.5 * k + (k @ k) / 6.0
+    a = (1.0 - np.cos(theta)) / theta**2
+    b = (theta - np.sin(theta)) / theta**3
+    return np.eye(3) + a * k + b * (k @ k)
+
+
+def _so3_left_jacobian_inv(phi: np.ndarray) -> np.ndarray:
+    """Inverse left Jacobian V^-1(phi), used by :func:`log`."""
+    theta = float(np.linalg.norm(phi))
+    k = skew(phi)
+    if theta < _SMALL_ANGLE:
+        return np.eye(3) - 0.5 * k + (k @ k) / 12.0
+    # The (theta/2) cot(theta/2) form stays finite all the way to pi
+    # (where sin(theta) alone would vanish).
+    coefficient = (1.0 - 0.5 * theta / np.tan(0.5 * theta)) / theta**2
+    return np.eye(3) - 0.5 * k + coefficient * (k @ k)
+
+
+def exp(twist: np.ndarray) -> np.ndarray:
+    """Exponential map se(3) -> SE(3).
+
+    ``twist`` is ``[rho, phi]`` (translation part first): the rotation
+    block is ``exp(skew(phi))`` via Rodrigues and the translation is
+    ``V(phi) @ rho`` with the SO(3) left Jacobian ``V``.  Inverse of
+    :func:`log` for rotation angles below pi; stable down to zero
+    rotation (series coefficients, no axis normalization).
+    """
+    twist = np.asarray(twist, dtype=np.float64).reshape(6)
+    rho, phi = twist[:3], twist[3:]
+    theta = float(np.linalg.norm(phi))
+    k = skew(phi)
+    if theta < _SMALL_ANGLE:
+        # sin(t)/t and (1-cos(t))/t^2 as truncated series.
+        a = 1.0 - theta**2 / 6.0
+        b = 0.5 - theta**2 / 24.0
+    else:
+        a = np.sin(theta) / theta
+        b = (1.0 - np.cos(theta)) / theta**2
+    rotation = np.eye(3) + a * k + b * (k @ k)
+    return make_transform(rotation, _so3_left_jacobian(phi) @ rho)
+
+
+def log(transform: np.ndarray) -> np.ndarray:
+    """Logarithm map SE(3) -> se(3), returning the ``[rho, phi]`` twist.
+
+    The rotation part is the principal rotation vector (angle in
+    ``[0, pi]``); the translation part un-couples the rotation with the
+    inverse left Jacobian.  ``exp(log(T))`` recovers ``T`` up to
+    floating point for any rigid transform with rotation angle < pi.
+    The angle comes from ``atan2`` of the skew-symmetric part — stable
+    where the trace-based arccos collapses (tiny rotations) — with the
+    axis-angle decomposition taking over near pi where the
+    skew-symmetric part vanishes instead.
+    """
+    transform = np.asarray(transform, dtype=np.float64)
+    rotation = transform[:3, :3]
+    # vee((R - R^T) / 2) == sin(angle) * axis.
+    sin_axis = 0.5 * np.array(
+        [
+            rotation[2, 1] - rotation[1, 2],
+            rotation[0, 2] - rotation[2, 0],
+            rotation[1, 0] - rotation[0, 1],
+        ]
+    )
+    sine = float(np.linalg.norm(sin_axis))
+    cosine = float(np.clip((np.trace(rotation) - 1.0) / 2.0, -1.0, 1.0))
+    theta = float(np.arctan2(sine, cosine))
+    if theta < _SMALL_ANGLE:
+        # theta/sin(theta) -> 1 + theta^2/6; sin_axis is already ~phi.
+        phi = sin_axis * (1.0 + theta**2 / 6.0)
+    elif sine > 1e-8:
+        # Exact rescaling sin(t)*axis -> t*axis; the relative error of
+        # sin_axis stays ~eps/sine, fine until within ~1e-8 of pi.
+        phi = sin_axis * (theta / sine)
+    else:
+        # Within ~1e-8 of pi the skew-symmetric part has vanished; the
+        # diagonal-dominant extraction's O(sine) axis error is now
+        # below floating-point significance.
+        axis, angle = rotation_to_axis_angle(rotation)
+        phi = axis * angle
+    rho = _so3_left_jacobian_inv(phi) @ transform[:3, 3]
+    return np.concatenate([rho, phi])
 
 
 def quaternion_to_rotation(quaternion: np.ndarray) -> np.ndarray:

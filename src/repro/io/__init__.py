@@ -19,8 +19,10 @@ from repro.io.synthetic import (
     Scene,
     Sphere,
     curved_trajectory,
+    figure_eight_trajectory,
     highway_scene,
     intersection_scene,
+    loop_trajectory,
     room_scene,
     scan,
     straight_trajectory,
@@ -52,4 +54,6 @@ __all__ = [
     "room_scene",
     "straight_trajectory",
     "curved_trajectory",
+    "loop_trajectory",
+    "figure_eight_trajectory",
 ]

@@ -22,6 +22,7 @@ from repro.io.synthetic import (
     curved_trajectory,
     highway_scene,
     intersection_scene,
+    loop_trajectory,
     room_scene,
     scan,
     straight_trajectory,
@@ -95,11 +96,17 @@ class SceneSpec:
     the convention the streaming tests and benches established — so a
     suite scene reproduces exactly the geometry those known-good seeds
     were validated on.
+
+    ``trajectory``, when set, maps a frame count to an explicit pose
+    list (e.g. :func:`~repro.io.synthetic.loop_trajectory` for the
+    closed-circuit mapping workloads) and takes precedence over the
+    default straight drive at ``step`` meters per frame.
     """
 
     factory: Callable[[np.random.Generator], Scene]
     step: float = 1.0
     seed: int = 7
+    trajectory: Callable[[int], list[np.ndarray]] | None = None
 
     def build(self, n_frames: int, model: LidarModel | None) -> SyntheticSequence:
         rng = np.random.default_rng(self.seed)
@@ -109,6 +116,7 @@ class SceneSpec:
             scene=self.factory(rng),
             model=model,
             step=self.step,
+            poses=None if self.trajectory is None else self.trajectory(n_frames),
         )
 
 
@@ -121,11 +129,13 @@ class SceneSuite:
     cached, so a suite can be passed around cheaply and only the scenes
     actually evaluated pay their ray-casting cost.
 
-    :meth:`default` wraps the four standard workloads — ``urban``
+    :meth:`default` wraps the five standard workloads — ``urban``
     (feature-rich street), ``highway`` (feature-poor, aperture-limited
     by design), ``intersection`` (perpendicular structure both ways),
-    and ``room`` (indoor, sensor surrounded).  The intersection uses
-    seed 11: seed 7 produces a near-symmetric scene whose front-end
+    ``room`` (indoor, sensor surrounded), and ``urban_loop`` (a closed
+    circuit around the intersection; the revisit workload the mapping
+    subsystem's loop closure consumes).  The intersection-based scenes
+    use seed 11: seed 7 produces a near-symmetric scene whose front-end
     fails identically under every driver (a pipeline property recorded
     with PR 2, not a driver bug).
     """
@@ -160,6 +170,20 @@ class SceneSuite:
                 lambda rng: intersection_scene(rng), seed=11
             ),
             "room": SceneSpec(lambda rng: room_scene(), step=0.3),
+            # A closed circuit on the intersection's roadway: corner
+            # buildings and poles stay in view all the way around, and
+            # the second lap revisits every point of the first — the
+            # loop-closure workload (the mapping tests use 48 frames).
+            # Two laps need ~24 frames each to keep per-frame motion
+            # registrable; short builds (tiny DSE sweeps) fall back to
+            # a single lap so consecutive poses stay distinct.
+            "urban_loop": SceneSpec(
+                lambda rng: intersection_scene(rng),
+                seed=11,
+                trajectory=lambda n: loop_trajectory(
+                    n, radius=5.0, laps=2 if n >= 32 else 1
+                ),
+            ),
         }
         if scenes is not None:
             unknown = set(scenes) - set(specs)
@@ -204,11 +228,13 @@ def make_sequence(
     step: float = 1.0,
     yaw_rate: float = 0.0,
     scene: Scene | None = None,
+    poses: list[np.ndarray] | None = None,
 ) -> SyntheticSequence:
     """Generate a synthetic odometry sequence.
 
     A fresh urban scene is generated from ``seed`` unless one is passed
-    in; the sensor drives through it on a straight or curved path and
+    in; the sensor drives through it on a straight or curved path — or
+    along explicitly supplied ``poses`` (e.g. a closed loop) — and
     scans every frame.  This is the stand-in for a KITTI sequence used
     throughout the tests, examples, and benchmark harnesses.
     """
@@ -217,9 +243,14 @@ def make_sequence(
         scene = urban_scene(rng, length=max(120.0, n_frames * step + 80.0))
     if model is None:
         model = default_test_model()
-    if yaw_rate == 0.0:
-        poses = straight_trajectory(n_frames, step=step)
-    else:
-        poses = curved_trajectory(n_frames, step=step, yaw_rate=yaw_rate)
+    if poses is None:
+        if yaw_rate == 0.0:
+            poses = straight_trajectory(n_frames, step=step)
+        else:
+            poses = curved_trajectory(n_frames, step=step, yaw_rate=yaw_rate)
+    elif len(poses) != n_frames:
+        raise ValueError(
+            f"got {len(poses)} explicit poses for {n_frames} frames"
+        )
     frames = [scan(scene, pose, model, rng) for pose in poses]
     return SyntheticSequence(frames=frames, poses=poses, scene=scene, model=model)

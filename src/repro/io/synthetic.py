@@ -35,6 +35,8 @@ __all__ = [
     "room_scene",
     "straight_trajectory",
     "curved_trajectory",
+    "loop_trajectory",
+    "figure_eight_trajectory",
 ]
 
 
@@ -488,4 +490,61 @@ def curved_trajectory(
         poses.append(se3.make_transform(se3.rot_z(yaw), position.copy()))
         position = position + step * np.array([np.cos(yaw), np.sin(yaw), 0.0])
         yaw += yaw_rate
+    return poses
+
+
+def loop_trajectory(
+    n_frames: int,
+    radius: float = 5.0,
+    height: float = 1.8,
+    laps: int = 1,
+) -> list[np.ndarray]:
+    """Sensor poses on a closed counter-clockwise circuit.
+
+    The sensor drives ``laps`` times around a circle of the given
+    radius with its heading tangent to the path, placed one step short
+    of closing: frame ``n_frames`` would coincide with frame 0 again,
+    so the last frame revisits the start at ordinary frame-to-frame
+    distance.  This is the canonical loop-closure workload — open-loop
+    odometry accumulates drift around the circuit that a SLAM back end
+    corrects once revisits are detected; extra laps revisit *every*
+    point of the circuit, constraining the whole trajectory rather
+    than just its endpoints.
+    """
+    if n_frames < 2:
+        raise ValueError("a loop needs at least two frames")
+    if laps < 1:
+        raise ValueError("laps must be >= 1")
+    poses = []
+    for index in range(n_frames):
+        angle = 2.0 * np.pi * laps * index / n_frames
+        position = [radius * np.cos(angle), radius * np.sin(angle), height]
+        poses.append(se3.make_transform(se3.rot_z(angle + np.pi / 2.0), position))
+    return poses
+
+
+def figure_eight_trajectory(
+    n_frames: int,
+    radius: float = 5.0,
+    height: float = 1.8,
+) -> list[np.ndarray]:
+    """Sensor poses on a figure-eight (Gerono lemniscate) through the origin.
+
+    ``x = 2r sin(t), y = 2r sin(t) cos(t)``, heading along the velocity.
+    The path self-intersects at the origin mid-run and closes after the
+    last frame — two revisit events per lap, exercising loop closure
+    against both same-direction and crossing-direction geometry.
+    """
+    if n_frames < 2:
+        raise ValueError("a figure eight needs at least two frames")
+    poses = []
+    for index in range(n_frames):
+        t = 2.0 * np.pi * index / n_frames
+        position = [
+            2.0 * radius * np.sin(t),
+            2.0 * radius * np.sin(t) * np.cos(t),
+            height,
+        ]
+        yaw = np.arctan2(2.0 * radius * np.cos(2.0 * t), 2.0 * radius * np.cos(t))
+        poses.append(se3.make_transform(se3.rot_z(yaw), position))
     return poses

@@ -1,0 +1,234 @@
+"""Incremental voxel-hash global map with per-voxel point fusion.
+
+The global map is a hash from integer voxel coordinates to a fused
+point: the running centroid of every inserted point that fell in the
+voxel, plus an occupancy count.  Contributions are tracked **per
+keyframe** — each insertion records which voxels the keyframe touched
+and with what mass — so when pose-graph optimization moves keyframes,
+:meth:`VoxelMap.re_anchor` subtracts each moved keyframe's old
+contribution and re-inserts it at the corrected pose, leaving untouched
+keyframes' work in place.  Spatial queries (nearest / radius) walk only
+the voxel-key neighborhood that can contain hits, the map-level
+analogue of the pipeline's leaf-scan search backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import se3
+from repro.io.pointcloud import PointCloud
+
+__all__ = ["VoxelMapConfig", "VoxelMap"]
+
+
+@dataclass(frozen=True)
+class VoxelMapConfig:
+    """Map resolution and re-anchoring sensitivity.
+
+    ``voxel_size`` is the fusion cell edge in meters.  Keyframes whose
+    optimized pose moved less than ``reanchor_translation_tol`` meters
+    and ``reanchor_rotation_tol_deg`` degrees keep their existing map
+    contribution on :meth:`VoxelMap.re_anchor` — re-binning points that
+    moved microns buys nothing.
+    """
+
+    voxel_size: float = 0.25
+    reanchor_translation_tol: float = 1e-6
+    reanchor_rotation_tol_deg: float = 1e-4
+
+    def __post_init__(self):
+        if self.voxel_size <= 0:
+            raise ValueError("voxel_size must be positive")
+
+
+class VoxelMap:
+    """A fused global point map, keyed by voxel hash, re-anchorable."""
+
+    def __init__(self, config: VoxelMapConfig | None = None):
+        self.config = config or VoxelMapConfig()
+        # voxel key -> [sum_of_points (3,), count]
+        self._voxels: dict[tuple[int, int, int], list] = {}
+        # keyframe id -> (local points (N, 3), pose used at insertion)
+        self._sources: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    # Occupancy accounting.
+    # ------------------------------------------------------------------
+
+    @property
+    def n_voxels(self) -> int:
+        return len(self._voxels)
+
+    @property
+    def n_points(self) -> int:
+        """Total fused points (occupancy mass) across all voxels."""
+        return int(sum(entry[1] for entry in self._voxels.values()))
+
+    def count(self, key: tuple[int, int, int]) -> int:
+        """Occupancy count of one voxel (0 when empty)."""
+        entry = self._voxels.get(key)
+        return 0 if entry is None else int(entry[1])
+
+    def keys(self, points: np.ndarray) -> np.ndarray:
+        """Integer voxel coordinates for an (N, 3) array of points."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return np.floor(points / self.config.voxel_size).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Insertion and re-anchoring.
+    # ------------------------------------------------------------------
+
+    def insert(self, source_id: int, local_points: np.ndarray, pose: np.ndarray) -> None:
+        """Fuse a keyframe's sensor-frame points into the map at ``pose``.
+
+        ``source_id`` identifies the contribution for later
+        re-anchoring; inserting an id twice replaces its previous
+        contribution (the degenerate form of re-anchoring).
+        """
+        local_points = np.atleast_2d(np.asarray(local_points, dtype=np.float64))
+        if local_points.shape[1] != 3:
+            raise ValueError(f"points must be (N, 3), got {local_points.shape}")
+        if source_id in self._sources:
+            self._remove(source_id)
+        pose = np.array(pose, dtype=np.float64)
+        self._sources[source_id] = (local_points, pose)
+        self._apply(local_points, pose, sign=+1.0)
+
+    def re_anchor(self, poses: dict[int, np.ndarray]) -> int:
+        """Move contributions to optimized poses; returns how many moved.
+
+        Only keyframes whose pose changed beyond the configured
+        tolerances are re-binned; the rest of the map is untouched —
+        the "incremental" half of the contract.
+        """
+        moved = 0
+        for source_id, new_pose in poses.items():
+            if source_id not in self._sources:
+                continue
+            local_points, old_pose = self._sources[source_id]
+            rotation, translation = se3.transform_distance(old_pose, new_pose)
+            if (
+                translation < self.config.reanchor_translation_tol
+                and np.degrees(rotation) < self.config.reanchor_rotation_tol_deg
+            ):
+                continue
+            self._apply(local_points, old_pose, sign=-1.0)
+            new_pose = np.array(new_pose, dtype=np.float64)
+            self._sources[source_id] = (local_points, new_pose)
+            self._apply(local_points, new_pose, sign=+1.0)
+            moved += 1
+        return moved
+
+    def _remove(self, source_id: int) -> None:
+        local_points, pose = self._sources.pop(source_id)
+        self._apply(local_points, pose, sign=-1.0)
+
+    def _apply(self, local_points: np.ndarray, pose: np.ndarray, sign: float) -> None:
+        """Add (or subtract) one contribution's per-voxel mass."""
+        world = se3.apply_transform(pose, local_points)
+        keys = self.keys(world)
+        order = np.lexsort((keys[:, 2], keys[:, 1], keys[:, 0]))
+        sorted_keys = keys[order]
+        sorted_points = world[order]
+        boundaries = np.any(np.diff(sorted_keys, axis=0) != 0, axis=1)
+        starts = np.concatenate(([0], np.nonzero(boundaries)[0] + 1))
+        ends = np.concatenate((starts[1:], [len(order)]))
+        for start, end in zip(starts, ends):
+            key = tuple(int(k) for k in sorted_keys[start])
+            group_sum = sorted_points[start:end].sum(axis=0)
+            count = end - start
+            entry = self._voxels.get(key)
+            if entry is None:
+                if sign < 0:
+                    raise KeyError(f"removing from empty voxel {key}")
+                self._voxels[key] = [group_sum, count]
+                continue
+            entry[0] = entry[0] + sign * group_sum
+            entry[1] = entry[1] + int(sign) * count
+            if entry[1] <= 0:
+                del self._voxels[key]
+
+    # ------------------------------------------------------------------
+    # Fused views and spatial queries.
+    # ------------------------------------------------------------------
+
+    def fused_points(self) -> np.ndarray:
+        """Per-voxel fused centroids, (V, 3), in hash order."""
+        if not self._voxels:
+            return np.empty((0, 3))
+        return np.array(
+            [entry[0] / entry[1] for entry in self._voxels.values()]
+        )
+
+    def to_cloud(self) -> PointCloud:
+        """The fused map as a ``PointCloud`` with a ``count`` channel."""
+        counts = np.array(
+            [entry[1] for entry in self._voxels.values()], dtype=np.int64
+        )
+        return PointCloud(self.fused_points().reshape(-1, 3), count=counts)
+
+    def radius(self, query: np.ndarray, r: float) -> tuple[np.ndarray, np.ndarray]:
+        """Fused points within ``r`` of ``query``: (points (K, 3), dists).
+
+        Visits only voxel keys whose cell can intersect the ball, so
+        cost scales with the neighborhood, not the map.  Results are
+        ordered by ascending distance.
+        """
+        if r < 0:
+            raise ValueError("radius must be non-negative")
+        query = np.asarray(query, dtype=np.float64).reshape(3)
+        size = self.config.voxel_size
+        lo = np.floor((query - r) / size).astype(np.int64)
+        hi = np.floor((query + r) / size).astype(np.int64)
+        hits: list[np.ndarray] = []
+        dists: list[float] = []
+        for kx in range(int(lo[0]), int(hi[0]) + 1):
+            for ky in range(int(lo[1]), int(hi[1]) + 1):
+                for kz in range(int(lo[2]), int(hi[2]) + 1):
+                    entry = self._voxels.get((kx, ky, kz))
+                    if entry is None:
+                        continue
+                    fused = entry[0] / entry[1]
+                    dist = float(np.linalg.norm(fused - query))
+                    if dist <= r:
+                        hits.append(fused)
+                        dists.append(dist)
+        if not hits:
+            return np.empty((0, 3)), np.empty(0)
+        order = np.argsort(dists, kind="stable")
+        return np.array(hits)[order], np.asarray(dists)[order]
+
+    def nearest(self, query: np.ndarray) -> tuple[np.ndarray, float]:
+        """The fused point nearest ``query``: (point (3,), distance).
+
+        Expands the search radius geometrically from one voxel edge, so
+        near queries stay cheap; raises on an empty map.
+        """
+        if not self._voxels:
+            raise ValueError("cannot query an empty map")
+        query = np.asarray(query, dtype=np.float64).reshape(3)
+        r = self.config.voxel_size
+        while True:
+            points, dists = self.radius(query, r)
+            # A hit is conclusive only once the ball provably contains
+            # it: a fused point can sit in a voxel outside a smaller r.
+            if len(points) > 0:
+                return points[0], float(dists[0])
+            r *= 2.0
+            if r > self._span() + 2.0 * self.config.voxel_size:
+                # One final exhaustive pass (query far outside the map).
+                fused = self.fused_points()
+                all_dists = np.linalg.norm(fused - query, axis=1)
+                best = int(np.argmin(all_dists))
+                return fused[best], float(all_dists[best])
+
+    def _span(self) -> float:
+        """Diagonal of the occupied-voxel bounding box, in meters."""
+        keys = np.array(list(self._voxels.keys()), dtype=np.float64)
+        return float(
+            np.linalg.norm((keys.max(axis=0) - keys.min(axis=0) + 1.0))
+            * self.config.voxel_size
+        )

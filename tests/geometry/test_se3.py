@@ -198,3 +198,82 @@ class TestDistance:
         rot, trans = se3.transform_distance(np.eye(4), delta)
         assert rot <= 0.01 + 1e-9
         assert trans <= 0.05 * np.sqrt(3) + 1e-9
+
+
+class TestLieMaps:
+    """The se(3) exp/log maps the pose-graph optimizer perturbs through."""
+
+    def test_skew_is_the_cross_product_matrix(self, rng):
+        a = rng.normal(size=3)
+        b = rng.normal(size=3)
+        assert np.allclose(se3.skew(a) @ b, np.cross(a, b))
+        assert np.allclose(se3.skew(a), -se3.skew(a).T)
+
+    def test_exp_of_zero_is_identity(self):
+        assert np.array_equal(se3.exp(np.zeros(6)), np.eye(4))
+
+    def test_log_of_identity_is_zero(self):
+        assert np.array_equal(se3.log(np.eye(4)), np.zeros(6))
+
+    def test_exp_produces_valid_transforms(self, rng):
+        for _ in range(20):
+            twist = rng.normal(scale=2.0, size=6)
+            assert se3.is_valid_transform(se3.exp(twist))
+
+    def test_pure_translation_twist(self):
+        transform = se3.exp([1.0, -2.0, 3.0, 0.0, 0.0, 0.0])
+        assert np.allclose(transform[:3, :3], np.eye(3))
+        assert np.allclose(transform[:3, 3], [1.0, -2.0, 3.0])
+
+    def test_pure_rotation_twist_matches_axis_angle(self):
+        twist = np.array([0.0, 0.0, 0.0, 0.0, 0.0, 0.7])
+        assert np.allclose(se3.exp(twist)[:3, :3], se3.rot_z(0.7))
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_round_trip_exp_log(self, seed):
+        gen = np.random.default_rng(seed)
+        phi = gen.normal(size=3)
+        phi *= gen.uniform(0.0, np.pi - 1e-6) / np.linalg.norm(phi)
+        twist = np.concatenate([gen.normal(scale=5.0, size=3), phi])
+        np.testing.assert_allclose(
+            se3.log(se3.exp(twist)), twist, rtol=1e-6, atol=1e-8
+        )
+
+    def test_round_trip_log_exp(self, rng):
+        for _ in range(20):
+            transform = se3.random_transform(rng, max_translation=10.0)
+            np.testing.assert_allclose(
+                se3.exp(se3.log(transform)), transform, rtol=1e-7, atol=1e-8
+            )
+
+    def test_small_angle_stability(self, rng):
+        """Tiny twists survive the round trip; naive arccos would zero them."""
+        for scale in (1e-3, 1e-6, 1e-9, 1e-12):
+            twist = rng.normal(size=6) * scale
+            np.testing.assert_allclose(
+                se3.log(se3.exp(twist)), twist, rtol=1e-6, atol=1e-16
+            )
+
+    def test_continuity_across_the_series_threshold(self):
+        """exp is continuous where the Taylor branch takes over."""
+        axis = np.array([1.0, 2.0, 2.0]) / 3.0
+        below = se3.exp(np.concatenate([np.ones(3), axis * 0.9e-6]))
+        above = se3.exp(np.concatenate([np.ones(3), axis * 1.1e-6]))
+        assert np.allclose(below, above, atol=1e-6)
+
+    def test_near_pi_round_trip(self, rng):
+        axis = np.array([0.3, -0.5, 0.81])
+        axis /= np.linalg.norm(axis)
+        for angle in (np.pi - 1e-3, np.pi - 1e-6, 3.141592):
+            twist = np.concatenate([rng.normal(size=3), axis * angle])
+            transform = se3.exp(twist)
+            np.testing.assert_allclose(
+                se3.exp(se3.log(transform)), transform, rtol=1e-6, atol=1e-7
+            )
+
+    def test_log_inverts_composition_of_small_steps(self):
+        """log(exp(a) @ exp(b)) ~ a + b to first order for small twists."""
+        a = np.array([1e-4, 0, 0, 0, 1e-4, 0])
+        b = np.array([0, 1e-4, 0, 0, 0, 1e-4])
+        combined = se3.log(se3.compose(se3.exp(a), se3.exp(b)))
+        np.testing.assert_allclose(combined, a + b, atol=1e-7)

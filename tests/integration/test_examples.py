@@ -43,8 +43,13 @@ class TestExamples:
 
     def test_mapping(self, tmp_path):
         out_file = tmp_path / "map.pcd"
-        output = run_example("mapping.py", "--out", str(out_file), "--frames", "3")
+        output = run_example(
+            "mapping.py", "--out", str(out_file),
+            "--frames", "24", "--laps", "1",
+        )
         assert "global map" in output
+        assert "loop-closed mapping" in output
+        assert "keyframes" in output
         assert out_file.exists()
         from repro.io import read_pcd
 

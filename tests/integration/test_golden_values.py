@@ -1,12 +1,14 @@
 """Golden end-to-end regression values.
 
-Pins the quickstart registration transform and a short urban-scene
-odometry trajectory to stored golden values, so perf refactors (like
-the streaming split) cannot silently change results.  Both scenarios
-are fully seeded and deterministic; discrete outcomes (iteration
-counts, correspondence counts, search-work counters) are compared
-exactly, while floating-point values use a tight tolerance to absorb
-last-ulp differences across BLAS/numpy builds.
+Pins the quickstart registration transform, a short urban-scene
+odometry trajectory, and a full ``urban_loop`` mapping run (keyframe
+count, loop-closure edges, post-optimization trajectory) to stored
+golden values, so perf refactors (like the streaming split) cannot
+silently change results.  All scenarios are fully seeded and
+deterministic; discrete outcomes (iteration counts, correspondence
+counts, search-work counters) are compared exactly, while
+floating-point values use a tight tolerance to absorb last-ulp
+differences across BLAS/numpy builds.
 
 Regenerate after an *intentional* accuracy change:
 
@@ -105,9 +107,57 @@ def odometry_scenario() -> dict:
     }
 
 
+def mapping_scenario() -> dict:
+    """A full urban_loop SLAM run (48 frames, 2 laps, loop closure).
+
+    Uses the shared reference configuration
+    (:mod:`repro.mapping.presets`) of the mapping acceptance tests,
+    bench, and example, pinning the subsystem end to end: the keyframe
+    schedule, the loop-closure edges, the optimized trajectory, and the
+    drift reduction itself.  The open-loop ATE comes from the mapper's
+    own odometry chain (bit-identical to ``run_streaming_odometry`` —
+    asserted in ``tests/mapping/``), so the sequence is registered once.
+    """
+    from repro.geometry import metrics
+    from repro.io import SceneSuite, default_test_model
+    from repro.mapping import (
+        StreamingMapper,
+        urban_loop_mapper_config,
+        urban_loop_pipeline,
+    )
+
+    suite = SceneSuite.default(n_frames=48, model=default_test_model())
+    sequence = suite.sequence("urban_loop")
+    mapper = StreamingMapper(urban_loop_pipeline(), urban_loop_mapper_config())
+    for frame in sequence.frames:
+        mapper.push(frame)
+
+    open_loop = metrics.trajectory_from_relative(mapper.odometry.relatives)
+    stats = mapper.stats
+    return {
+        "n_keyframes": stats.n_keyframes,
+        "keyframe_frames": [k.frame_index for k in mapper.keyframes],
+        "n_loop_closures": stats.n_loop_closures,
+        "loop_edges": [
+            [c.target_index, c.source_index] for c in mapper.loop_closures
+        ],
+        "n_optimizations": stats.n_optimizations,
+        "n_map_voxels": stats.n_map_voxels,
+        "n_map_points": stats.n_map_points,
+        "trajectory": [pose.tolist() for pose in mapper.trajectory()],
+        "ate_open_loop_m": metrics.absolute_trajectory_error(
+            open_loop, sequence.poses
+        ),
+        "ate_mapped_m": metrics.absolute_trajectory_error(
+            mapper.trajectory(), sequence.poses
+        ),
+    }
+
+
 SCENARIOS = {
     "quickstart": quickstart_scenario,
     "odometry_urban": odometry_scenario,
+    "mapping_urban_loop": mapping_scenario,
 }
 
 
@@ -154,6 +204,13 @@ class TestGoldenValues:
     def test_urban_odometry_trajectory_pinned(self, golden):
         assert_matches(
             odometry_scenario(), golden["odometry_urban"], "odometry_urban"
+        )
+
+    def test_urban_loop_mapping_pinned(self, golden):
+        assert_matches(
+            mapping_scenario(),
+            golden["mapping_urban_loop"],
+            "mapping_urban_loop",
         )
 
 

@@ -97,11 +97,28 @@ class TestSceneSuite:
             **kwargs,
         )
 
-    def test_default_has_four_scenes(self):
+    def test_default_has_five_scenes(self):
         suite = self.small_suite()
-        assert suite.names == ("urban", "highway", "intersection", "room")
-        assert len(suite) == 4
+        assert suite.names == (
+            "urban", "highway", "intersection", "room", "urban_loop"
+        )
+        assert len(suite) == 5
         assert "urban" in suite and "desert" not in suite
+
+    def test_urban_loop_follows_loop_trajectory(self):
+        import numpy as np
+
+        from repro.io import loop_trajectory
+
+        suite = self.small_suite()
+        sequence = suite.sequence("urban_loop")
+        # Short builds fall back to a single lap (two laps over a
+        # handful of frames would repeat or jumble poses).
+        expected = loop_trajectory(2, radius=5.0, laps=1)
+        assert all(
+            np.array_equal(pose, want)
+            for pose, want in zip(sequence.poses, expected)
+        )
 
     def test_sequences_are_lazy_and_cached(self):
         suite = self.small_suite()

@@ -253,3 +253,78 @@ class TestSceneVariants:
         # Structure on all four sides of the sensor.
         assert (cloud.points[:, 0] > 2).any() and (cloud.points[:, 0] < -2).any()
         assert (cloud.points[:, 1] > 2).any() and (cloud.points[:, 1] < -2).any()
+
+
+class TestTrajectories:
+    def test_loop_returns_to_start(self):
+        from repro.geometry import se3
+        from repro.io import loop_trajectory
+
+        poses = loop_trajectory(24, radius=5.0)
+        assert len(poses) == 24
+        # One more step would land exactly on frame 0 again: the gap
+        # between the last pose and the first is one ordinary step.
+        step = np.linalg.norm(
+            se3.translation_part(poses[1]) - se3.translation_part(poses[0])
+        )
+        closing = np.linalg.norm(
+            se3.translation_part(poses[-1]) - se3.translation_part(poses[0])
+        )
+        assert closing == pytest.approx(step, rel=1e-9)
+        for pose in poses:
+            assert se3.is_valid_transform(pose)
+            assert np.linalg.norm(se3.translation_part(pose)[:2]) == (
+                pytest.approx(5.0)
+            )
+
+    def test_loop_heading_is_tangent(self):
+        from repro.geometry import se3
+        from repro.io import loop_trajectory
+
+        poses = loop_trajectory(36, radius=5.0)
+        for before, after in zip(poses[:-1], poses[1:]):
+            motion = se3.translation_part(after) - se3.translation_part(before)
+            heading = se3.rotation_part(before) @ np.array([1.0, 0.0, 0.0])
+            cosine = motion @ heading / np.linalg.norm(motion)
+            assert cosine > 0.99  # forward, within the turn discretization
+
+    def test_loop_laps_multiply_the_angle(self):
+        from repro.io import loop_trajectory
+
+        single = loop_trajectory(12, radius=5.0, laps=1)
+        double = loop_trajectory(24, radius=5.0, laps=2)
+        # The double-lap trajectory traverses the same circle at the
+        # same per-frame angle: its first lap reproduces the single lap.
+        for a, b in zip(single, double[:12]):
+            np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_loop_validation(self):
+        from repro.io import loop_trajectory
+
+        with pytest.raises(ValueError):
+            loop_trajectory(1)
+        with pytest.raises(ValueError):
+            loop_trajectory(10, laps=0)
+
+    def test_figure_eight_crosses_the_origin_and_closes(self):
+        from repro.geometry import se3
+        from repro.io import figure_eight_trajectory
+
+        poses = figure_eight_trajectory(32, radius=5.0)
+        assert len(poses) == 32
+        positions = np.array([se3.translation_part(p) for p in poses])
+        # Starts at the self-intersection (origin) and revisits its
+        # neighborhood mid-run on the crossing stroke.
+        assert np.linalg.norm(positions[0][:2]) < 1e-9
+        mid = len(poses) // 2
+        assert np.linalg.norm(positions[mid][:2]) < 1.5
+        # Both lobes are visited.
+        assert positions[:, 0].max() > 5.0 and positions[:, 0].min() < -5.0
+        for pose in poses:
+            assert se3.is_valid_transform(pose)
+
+    def test_figure_eight_validation(self):
+        from repro.io import figure_eight_trajectory
+
+        with pytest.raises(ValueError):
+            figure_eight_trajectory(1)

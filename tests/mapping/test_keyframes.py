@@ -1,0 +1,54 @@
+"""Unit tests for keyframe selection."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import se3
+from repro.mapping import KeyframeConfig, KeyframePolicy
+
+
+class TestKeyframePolicy:
+    def test_first_frame_is_always_a_keyframe(self):
+        policy = KeyframePolicy(KeyframeConfig(1e9, 1e9))
+        assert policy.is_keyframe(None, se3.identity())
+
+    def test_below_both_thresholds_is_not_a_keyframe(self):
+        policy = KeyframePolicy(
+            KeyframeConfig(translation_threshold=1.0, rotation_threshold_deg=10.0)
+        )
+        pose = se3.make_transform(se3.rot_z(np.radians(5.0)), [0.5, 0, 0])
+        assert not policy.is_keyframe(se3.identity(), pose)
+
+    def test_translation_threshold_triggers(self):
+        policy = KeyframePolicy(
+            KeyframeConfig(translation_threshold=1.0, rotation_threshold_deg=10.0)
+        )
+        pose = se3.make_transform(np.eye(3), [1.0, 0, 0])
+        assert policy.is_keyframe(se3.identity(), pose)
+
+    def test_rotation_threshold_triggers(self):
+        policy = KeyframePolicy(
+            KeyframeConfig(translation_threshold=1.0, rotation_threshold_deg=10.0)
+        )
+        pose = se3.make_transform(se3.rot_z(np.radians(10.01)), [0, 0, 0])
+        assert policy.is_keyframe(se3.identity(), pose)
+
+    def test_motion_is_relative_to_last_keyframe(self):
+        policy = KeyframePolicy(
+            KeyframeConfig(translation_threshold=1.0, rotation_threshold_deg=360.0)
+        )
+        last = se3.make_transform(np.eye(3), [10.0, 0, 0])
+        near = se3.make_transform(np.eye(3), [10.5, 0, 0])
+        far = se3.make_transform(np.eye(3), [11.5, 0, 0])
+        assert not policy.is_keyframe(last, near)
+        assert policy.is_keyframe(last, far)
+
+    def test_zero_thresholds_keep_every_frame(self):
+        policy = KeyframePolicy(KeyframeConfig(0.0, 0.0))
+        assert policy.is_keyframe(se3.identity(), se3.identity())
+
+    def test_negative_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            KeyframeConfig(translation_threshold=-1.0)
+        with pytest.raises(ValueError):
+            KeyframeConfig(rotation_threshold_deg=-1.0)

@@ -1,0 +1,165 @@
+"""Unit tests for SE(3) pose-graph optimization."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import se3
+from repro.mapping import PoseGraph, PoseGraphConfig
+
+
+def circle_truth(n: int, radius: float = 5.0) -> list[np.ndarray]:
+    return [
+        se3.make_transform(
+            se3.rot_z(2 * np.pi * i / n),
+            [radius * np.cos(2 * np.pi * i / n), radius * np.sin(2 * np.pi * i / n), 0],
+        )
+        for i in range(n)
+    ]
+
+
+def noisy_odometry_graph(
+    truth: list[np.ndarray], rng: np.random.Generator, scale: float = 0.01
+) -> PoseGraph:
+    """Chain noisy odometry edges along ``truth``; initial nodes drift."""
+    graph = PoseGraph()
+    pose = truth[0]
+    graph.add_node(pose)
+    for i in range(1, len(truth)):
+        measurement = se3.compose(
+            se3.compose(se3.invert(truth[i - 1]), truth[i]),
+            se3.exp(rng.normal(scale=scale, size=6)),
+        )
+        pose = se3.compose(pose, measurement)
+        graph.add_node(pose)
+        graph.add_edge(i - 1, i, measurement)
+    return graph
+
+
+def node_rmse(graph: PoseGraph, truth: list[np.ndarray]) -> float:
+    return float(
+        np.sqrt(
+            np.mean(
+                [
+                    np.sum(
+                        (
+                            se3.translation_part(node) - se3.translation_part(want)
+                        )
+                        ** 2
+                    )
+                    for node, want in zip(graph.nodes, truth)
+                ]
+            )
+        )
+    )
+
+
+class TestConstruction:
+    def test_add_node_returns_dense_ids(self):
+        graph = PoseGraph()
+        assert graph.add_node(se3.identity()) == 0
+        assert graph.add_node(se3.identity()) == 1
+        assert len(graph) == 2
+
+    def test_bad_pose_shape_rejected(self):
+        with pytest.raises(ValueError):
+            PoseGraph().add_node(np.eye(3))
+
+    def test_edge_validation(self):
+        graph = PoseGraph()
+        graph.add_node(se3.identity())
+        graph.add_node(se3.identity())
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 2, se3.identity())
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 0, se3.identity())
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 1, se3.identity(), weight=0.0)
+
+    def test_loop_edge_counter(self):
+        graph = PoseGraph()
+        for _ in range(3):
+            graph.add_node(se3.identity())
+        graph.add_edge(0, 1, se3.identity())
+        graph.add_edge(1, 2, se3.identity(), kind="loop")
+        assert graph.n_loop_edges == 1
+
+
+class TestOptimize:
+    def test_consistent_chain_has_zero_error(self, rng):
+        """Odometry-only graphs are exactly satisfiable: nothing moves."""
+        truth = circle_truth(8)
+        graph = noisy_odometry_graph(truth, rng, scale=0.05)
+        assert graph.error() < 1e-16
+        before = [node.copy() for node in graph.nodes]
+        result = graph.optimize()
+        assert result.final_error < 1e-12
+        for node, want in zip(graph.nodes, before):
+            np.testing.assert_allclose(node, want, atol=1e-6)
+
+    def test_loop_edge_corrects_drift(self, rng):
+        """An exact loop edge pulls a noisy circle back toward truth."""
+        truth = circle_truth(12)
+        graph = noisy_odometry_graph(truth, rng, scale=0.02)
+        graph.add_edge(
+            11, 0, se3.compose(se3.invert(truth[11]), truth[0]), kind="loop"
+        )
+        before = node_rmse(graph, truth)
+        result = graph.optimize()
+        after = node_rmse(graph, truth)
+        assert result.final_error < result.initial_error
+        assert after < 0.6 * before
+        for node in graph.nodes:
+            assert se3.is_valid_transform(node)
+
+    def test_gauge_node_stays_fixed(self, rng):
+        truth = circle_truth(6)
+        graph = noisy_odometry_graph(truth, rng, scale=0.05)
+        graph.add_edge(5, 0, se3.compose(se3.invert(truth[5]), truth[0]))
+        anchor = graph.nodes[0].copy()
+        graph.optimize()
+        assert np.array_equal(graph.nodes[0], anchor)
+
+    def test_custom_fixed_set(self, rng):
+        truth = circle_truth(6)
+        graph = noisy_odometry_graph(truth, rng, scale=0.05)
+        graph.add_edge(5, 0, se3.compose(se3.invert(truth[5]), truth[0]))
+        anchored = {0: graph.nodes[0].copy(), 3: graph.nodes[3].copy()}
+        graph.optimize(fixed={0, 3})
+        for index, want in anchored.items():
+            assert np.array_equal(graph.nodes[index], want)
+
+    def test_empty_graph_is_a_noop(self):
+        graph = PoseGraph()
+        graph.add_node(se3.identity())
+        result = graph.optimize()
+        assert result.iterations == 0
+        assert result.converged
+
+    def test_deterministic(self, rng):
+        truth = circle_truth(10)
+        seeds = [np.random.default_rng(3), np.random.default_rng(3)]
+        results = []
+        for seed_rng in seeds:
+            graph = noisy_odometry_graph(truth, seed_rng, scale=0.02)
+            graph.add_edge(9, 0, se3.compose(se3.invert(truth[9]), truth[0]))
+            graph.optimize(PoseGraphConfig())
+            results.append([node.copy() for node in graph.nodes])
+        for a, b in zip(*results):
+            assert np.array_equal(a, b)
+
+    def test_weights_bias_the_solution(self, rng):
+        """A heavier loop edge leaves a smaller loop residual."""
+        truth = circle_truth(10)
+        residuals = []
+        for weight in (1.0, 100.0):
+            seed_rng = np.random.default_rng(5)
+            graph = noisy_odometry_graph(truth, seed_rng, scale=0.05)
+            loop = se3.compose(se3.invert(truth[9]), truth[0])
+            graph.add_edge(9, 0, loop, weight=weight, kind="loop")
+            graph.optimize()
+            gap = se3.compose(
+                se3.invert(loop),
+                se3.compose(se3.invert(graph.nodes[9]), graph.nodes[0]),
+            )
+            residuals.append(float(np.linalg.norm(se3.log(gap))))
+        assert residuals[1] < residuals[0]

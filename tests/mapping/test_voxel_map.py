@@ -1,0 +1,157 @@
+"""Unit tests for the incremental voxel-hash global map."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import se3
+from repro.mapping import VoxelMap, VoxelMapConfig
+
+
+def make_map(voxel_size: float = 0.5) -> VoxelMap:
+    return VoxelMap(VoxelMapConfig(voxel_size=voxel_size))
+
+
+class TestInsertion:
+    def test_fusion_counts(self):
+        vmap = make_map(1.0)
+        points = np.array([[0.1, 0.1, 0.1], [0.2, 0.2, 0.2], [1.5, 0.0, 0.0]])
+        vmap.insert(0, points, se3.identity())
+        assert vmap.n_voxels == 2
+        assert vmap.n_points == 3
+        assert vmap.count((0, 0, 0)) == 2
+        assert vmap.count((1, 0, 0)) == 1
+        assert vmap.count((9, 9, 9)) == 0
+
+    def test_fused_point_is_the_centroid(self):
+        vmap = make_map(1.0)
+        vmap.insert(0, [[0.2, 0.2, 0.2], [0.4, 0.4, 0.4]], se3.identity())
+        np.testing.assert_allclose(vmap.fused_points(), [[0.3, 0.3, 0.3]])
+
+    def test_insertion_applies_the_pose(self):
+        vmap = make_map(1.0)
+        pose = se3.make_transform(np.eye(3), [10.0, 0.0, 0.0])
+        vmap.insert(0, [[0.5, 0.5, 0.5]], pose)
+        assert vmap.count((10, 0, 0)) == 1
+
+    def test_contributions_accumulate_across_sources(self):
+        vmap = make_map(1.0)
+        vmap.insert(0, [[0.2, 0.2, 0.2]], se3.identity())
+        vmap.insert(1, [[0.6, 0.6, 0.6]], se3.identity())
+        assert vmap.n_voxels == 1
+        assert vmap.count((0, 0, 0)) == 2
+
+    def test_reinsert_replaces_contribution(self):
+        vmap = make_map(1.0)
+        vmap.insert(0, [[0.5, 0.5, 0.5]], se3.identity())
+        vmap.insert(0, [[5.5, 0.5, 0.5]], se3.identity())
+        assert vmap.n_points == 1
+        assert vmap.count((0, 0, 0)) == 0
+        assert vmap.count((5, 0, 0)) == 1
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            make_map().insert(0, np.zeros((3, 2)), se3.identity())
+
+    def test_to_cloud_carries_counts(self):
+        vmap = make_map(1.0)
+        vmap.insert(0, [[0.1, 0.1, 0.1], [0.2, 0.2, 0.2], [3.5, 0.0, 0.0]],
+                    se3.identity())
+        cloud = vmap.to_cloud()
+        assert len(cloud) == 2
+        assert sorted(cloud.get_attribute("count").tolist()) == [1, 2]
+
+
+class TestReAnchoring:
+    def test_moved_source_is_rebinned(self):
+        vmap = make_map(1.0)
+        vmap.insert(0, [[0.5, 0.5, 0.5]], se3.identity())
+        moved = vmap.re_anchor({0: se3.make_transform(np.eye(3), [3.0, 0, 0])})
+        assert moved == 1
+        assert vmap.count((0, 0, 0)) == 0
+        assert vmap.count((3, 0, 0)) == 1
+
+    def test_unmoved_source_is_skipped(self):
+        vmap = make_map(1.0)
+        vmap.insert(0, [[0.5, 0.5, 0.5]], se3.identity())
+        assert vmap.re_anchor({0: se3.identity()}) == 0
+
+    def test_unknown_source_is_ignored(self):
+        vmap = make_map(1.0)
+        vmap.insert(0, [[0.5, 0.5, 0.5]], se3.identity())
+        assert vmap.re_anchor({7: se3.identity()}) == 0
+
+    def test_other_contributions_survive(self, rng):
+        vmap = make_map(0.5)
+        static = rng.uniform(-2, 2, size=(200, 3))
+        vmap.insert(0, static, se3.identity())
+        vmap.insert(1, rng.uniform(-2, 2, size=(100, 3)),
+                    se3.make_transform(np.eye(3), [20.0, 0, 0]))
+        before_total = vmap.n_points
+        vmap.re_anchor({1: se3.make_transform(np.eye(3), [40.0, 0, 0])})
+        assert vmap.n_points == before_total
+        # Static contribution's voxels are untouched.
+        keys = vmap.keys(static)
+        assert all(vmap.count(tuple(key)) > 0 for key in keys)
+
+    def test_reanchor_matches_fresh_insertion(self, rng):
+        """Re-anchoring equals building the map at the new pose."""
+        points = rng.uniform(-3, 3, size=(300, 3))
+        new_pose = se3.make_transform(se3.rot_z(0.4), [2.0, -1.0, 0.5])
+        incremental = make_map(0.5)
+        incremental.insert(0, points, se3.identity())
+        incremental.re_anchor({0: new_pose})
+        fresh = make_map(0.5)
+        fresh.insert(0, points, new_pose)
+        assert incremental.n_voxels == fresh.n_voxels
+        a = incremental.to_cloud()
+        b = fresh.to_cloud()
+        order_a = np.lexsort(a.points.T)
+        order_b = np.lexsort(b.points.T)
+        np.testing.assert_allclose(
+            a.points[order_a], b.points[order_b], atol=1e-9
+        )
+
+
+class TestQueries:
+    def test_radius_returns_sorted_hits_within_r(self, rng):
+        vmap = make_map(0.5)
+        points = rng.uniform(-5, 5, size=(1000, 3))
+        vmap.insert(0, points, se3.identity())
+        hits, dists = vmap.radius([0.0, 0.0, 0.0], 2.0)
+        assert np.all(dists <= 2.0)
+        assert np.all(np.diff(dists) >= 0)
+        # Cross-check against a brute-force scan of the fused points.
+        fused = vmap.fused_points()
+        brute = np.linalg.norm(fused, axis=1)
+        assert len(hits) == int(np.sum(brute <= 2.0))
+
+    def test_radius_empty_result(self):
+        vmap = make_map(0.5)
+        vmap.insert(0, [[10.0, 10.0, 10.0]], se3.identity())
+        hits, dists = vmap.radius([0.0, 0.0, 0.0], 1.0)
+        assert len(hits) == 0 and len(dists) == 0
+
+    def test_nearest_matches_brute_force(self, rng):
+        vmap = make_map(0.5)
+        vmap.insert(0, rng.uniform(-5, 5, size=(500, 3)), se3.identity())
+        fused = vmap.fused_points()
+        for query in ([0.0, 0.0, 0.0], [4.9, -4.9, 0.0], [50.0, 0.0, 0.0]):
+            point, dist = vmap.nearest(query)
+            brute = np.linalg.norm(fused - np.asarray(query), axis=1)
+            assert np.isclose(dist, brute.min())
+
+    def test_nearest_on_empty_map_raises(self):
+        with pytest.raises(ValueError):
+            make_map().nearest([0.0, 0.0, 0.0])
+
+    def test_negative_radius_rejected(self):
+        vmap = make_map()
+        vmap.insert(0, [[0.0, 0.0, 0.0]], se3.identity())
+        with pytest.raises(ValueError):
+            vmap.radius([0.0, 0.0, 0.0], -1.0)
+
+
+class TestConfig:
+    def test_bad_voxel_size_rejected(self):
+        with pytest.raises(ValueError):
+            VoxelMapConfig(voxel_size=0.0)
