@@ -43,6 +43,12 @@ def test_fig04_stage_breakdown(benchmark, dse_report):
         )
     lines.append("")
     lines.append("(paper: KD-tree search consistently 50-85 % of total time)")
+    lines.append(
+        "(front-end stages run the PR-5 vectorized ragged kernels; the "
+        "aggregation speedup shrinks every stage's non-search band "
+        "uniformly, so the stage *proportions* above still reproduce "
+        "the paper's shape)"
+    )
     write_report("fig04_stage_breakdown", "\n".join(lines))
 
     # Shape claim 1 (Fig. 4b): KD-tree search dominates in EVERY design

@@ -5,8 +5,14 @@ sequence), registers consecutive frames with the default pipeline, and
 prints the estimated transform against ground truth — the minimal
 end-to-end use of the public API.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--profile]
+
+``--profile`` prints the extended per-stage Profiler breakdown (total /
+KD-tree search / KD-tree build / aggregation / share), so you can see
+where registration time goes without running the figure benches.
 """
+
+import argparse
 
 from repro.geometry import metrics
 from repro.io import make_sequence
@@ -20,7 +26,7 @@ from repro.registration import (
 )
 
 
-def main():
+def main(profile: bool = False):
     # 1. Data: two consecutive frames of a synthetic urban drive, with
     # exact ground truth for the relative motion.
     sequence = make_sequence(n_frames=2, seed=42, step=1.0)
@@ -59,7 +65,7 @@ def main():
     print(f"ICP: {result.icp}")
 
     print("\nper-stage timing (KD-tree search dominates — paper Fig. 4):")
-    print(profiler.report())
+    print(profiler.report(extended=profile))
     fractions = profiler.kdtree_fractions()
     print(
         f"\nKD-tree search share of runtime: {100 * fractions['search']:.1f}% "
@@ -72,4 +78,10 @@ def main():
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the extended per-stage breakdown (adds aggregation + share)",
+    )
+    raise SystemExit(main(profile=parser.parse_args().profile))

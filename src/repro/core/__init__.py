@@ -7,6 +7,7 @@ approximate search algorithm that reclaims the structure's redundancy.
 """
 
 from repro.core.approx import ApproximateSearch, ApproximateSearchConfig
+from repro.core.ragged import RaggedNeighborhoods
 from repro.core.trace import LeafVisitRecord, QueryTrace
 from repro.core.twostage import TwoStageKDTree
 
@@ -16,4 +17,5 @@ __all__ = [
     "ApproximateSearchConfig",
     "QueryTrace",
     "LeafVisitRecord",
+    "RaggedNeighborhoods",
 ]

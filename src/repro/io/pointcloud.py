@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core import ragged
 from repro.geometry import se3
 
 __all__ = ["PointCloud"]
@@ -123,20 +124,25 @@ class PointCloud:
         if len(self) == 0:
             return self.copy()
         keys = np.floor(self._points / voxel_size).astype(np.int64)
-        # Group points by voxel via lexicographic sort of integer keys.
-        order = np.lexsort((keys[:, 2], keys[:, 1], keys[:, 0]))
-        sorted_keys = keys[order]
-        boundaries = np.any(np.diff(sorted_keys, axis=0) != 0, axis=1)
-        group_starts = np.concatenate(([0], np.nonzero(boundaries)[0] + 1))
-        group_ends = np.concatenate((group_starts[1:], [len(order)]))
-        representatives = np.empty(len(group_starts), dtype=np.int64)
-        for g, (start, end) in enumerate(zip(group_starts, group_ends)):
-            members = order[start:end]
-            centroid = self._points[members].mean(axis=0)
-            offsets = self._points[members] - centroid
-            representatives[g] = members[
-                int(np.argmin(np.sum(offsets * offsets, axis=1)))
-            ]
+        # Group points by voxel via lexicographic sort of integer keys,
+        # then pick every group's representative with segment kernels:
+        # per-voxel centroids from one reduceat sum, then the first
+        # member attaining the per-voxel minimum squared distance (the
+        # same first-of-ties rule as a per-group argmin).
+        order, _, group_starts, group_counts = ragged.lexsort_voxel_groups(keys)
+        sorted_points = self._points[order]
+        group_ids = np.repeat(np.arange(len(group_starts)), group_counts)
+        centroids = (
+            np.add.reduceat(sorted_points, group_starts, axis=0)
+            / group_counts[:, None]
+        )
+        offsets = sorted_points - centroids[group_ids]
+        d_sq = np.sum(offsets * offsets, axis=1)
+        min_d_sq = np.minimum.reduceat(d_sq, group_starts)
+        position = np.where(
+            d_sq == min_d_sq[group_ids], np.arange(len(order)), len(order)
+        )
+        representatives = order[np.minimum.reduceat(position, group_starts)]
         return self.select(np.sort(representatives))
 
     def random_downsample(

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import ragged
 from repro.geometry import se3
 from repro.io.pointcloud import PointCloud
 
@@ -127,19 +128,24 @@ class VoxelMap:
         self._apply(local_points, pose, sign=-1.0)
 
     def _apply(self, local_points: np.ndarray, pose: np.ndarray, sign: float) -> None:
-        """Add (or subtract) one contribution's per-voxel mass."""
+        """Add (or subtract) one contribution's per-voxel mass.
+
+        Per-voxel sums and counts come from one ``reduceat`` pass over
+        the lexsorted points (the ragged-kernel form of the binning);
+        only the hash-table update itself walks the touched voxels.
+        """
         world = se3.apply_transform(pose, local_points)
-        keys = self.keys(world)
-        order = np.lexsort((keys[:, 2], keys[:, 1], keys[:, 0]))
-        sorted_keys = keys[order]
+        if len(world) == 0:
+            return
+        order, sorted_keys, starts, counts = ragged.lexsort_voxel_groups(
+            self.keys(world)
+        )
         sorted_points = world[order]
-        boundaries = np.any(np.diff(sorted_keys, axis=0) != 0, axis=1)
-        starts = np.concatenate(([0], np.nonzero(boundaries)[0] + 1))
-        ends = np.concatenate((starts[1:], [len(order)]))
-        for start, end in zip(starts, ends):
-            key = tuple(int(k) for k in sorted_keys[start])
-            group_sum = sorted_points[start:end].sum(axis=0)
-            count = end - start
+        group_sums = np.add.reduceat(sorted_points, starts, axis=0)
+        for key_list, group_sum, count in zip(
+            sorted_keys[starts].tolist(), group_sums, counts.tolist()
+        ):
+            key = tuple(key_list)
             entry = self._voxels.get(key)
             if entry is None:
                 if sign < 0:

@@ -123,18 +123,38 @@ class StageProfiler:
             mine.kdtree_construction += timing.kdtree_construction
             mine.calls += timing.calls
 
-    def report(self) -> str:
-        """Human-readable table of stage timings."""
-        lines = [f"{'stage':<28}{'total(s)':>10}{'kd-search':>11}{'kd-build':>10}"]
+    def report(self, extended: bool = False) -> str:
+        """Human-readable table of stage timings.
+
+        With ``extended``, adds the non-KD-tree remainder (``other`` —
+        the stage's aggregation kernels) and each stage's share of the
+        total, the view ``examples/quickstart.py --profile`` prints.
+        """
+        header = f"{'stage':<28}{'total(s)':>10}{'kd-search':>11}{'kd-build':>10}"
+        if extended:
+            header += f"{'other':>10}{'share':>8}"
+        lines = [header]
+        total = self.total
         for name, timing in sorted(
             self.stages.items(), key=lambda kv: -kv[1].total
         ):
-            lines.append(
+            row = (
                 f"{name:<28}{timing.total:>10.4f}"
                 f"{timing.kdtree_search:>11.4f}{timing.kdtree_construction:>10.4f}"
             )
-        lines.append(
+            if extended:
+                share = timing.total / total if total > 0 else 0.0
+                row += f"{timing.other:>10.4f}{100 * share:>7.1f}%"
+            lines.append(row)
+        footer = (
             f"{'TOTAL':<28}{self.total:>10.4f}"
             f"{self.total_kdtree_search:>11.4f}{self.total_kdtree_construction:>10.4f}"
         )
+        if extended:
+            other = max(
+                0.0,
+                total - self.total_kdtree_search - self.total_kdtree_construction,
+            )
+            footer += f"{other:>10.4f}{(100.0 if total > 0 else 0.0):>7.1f}%"
+        lines.append(footer)
         return "\n".join(lines)

@@ -19,6 +19,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.ragged import (
+    RaggedNeighborhoods,
+    gathered_weighted_segment_sums,
+    segment_blocks,
+)
 from repro.io.pointcloud import PointCloud
 from repro.registration.search import NeighborSearcher
 
@@ -26,6 +31,11 @@ __all__ = ["fpfh_descriptors", "FPFH_BINS", "FPFH_DIMS"]
 
 FPFH_BINS = 11
 FPFH_DIMS = 3 * FPFH_BINS  # 33
+
+# Flat (center, neighbor) pairs per SPFH sweep chunk: small enough that
+# the ~15 reused per-pair buffers stay allocation-free, large enough to
+# amortize the per-chunk Python overhead.
+_SPFH_BLOCK_PAIRS = 1 << 19
 
 
 def fpfh_descriptors(
@@ -48,99 +58,189 @@ def fpfh_descriptors(
     points = cloud.points
     normals = cloud.normals
 
-    # Pass 1: one batched radius search over all keypoints.
-    neighbor_lists: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    # Pass 1: one batched radius search over all keypoints, flattened
+    # to CSR with the self-matches dropped.
     kp_neighbors, kp_dists = searcher.radius_batch(points[keypoint_indices], radius)
-    for idx, nbr_idx, nbr_dist in zip(keypoint_indices, kp_neighbors, kp_dists):
-        mask = nbr_idx != idx
-        neighbor_lists[int(idx)] = (nbr_idx[mask], nbr_dist[mask])
+    kp_ragged = RaggedNeighborhoods.from_lists(kp_neighbors, kp_dists)
+    kp_ragged = kp_ragged.mask(
+        kp_ragged.indices != keypoint_indices[kp_ragged.segment_ids]
+    )
 
     # Pass 2: SPFH for every needed point (keypoints + their neighbors);
     # the neighbors not already covered get one more batched search.
-    needed = np.unique(
-        np.concatenate(
-            [keypoint_indices] + [nbr for nbr, _ in neighbor_lists.values()]
-        )
-    )
-    extra = np.array(
-        [int(i) for i in needed if int(i) not in neighbor_lists], dtype=np.int64
-    )
+    # ``needed`` and ``extra`` are sorted-unique set algebra over the
+    # flat arrays (no Python set walk), preserving the ascending SPFH
+    # evaluation order.
+    needed = np.union1d(keypoint_indices, kp_ragged.indices)
+    extra = np.setdiff1d(needed, keypoint_indices)
+    extra_ragged = RaggedNeighborhoods.from_lists([], [])
     if len(extra):
         extra_neighbors, extra_dists = searcher.radius_batch(points[extra], radius)
-        for idx, nbr_idx, nbr_dist in zip(extra, extra_neighbors, extra_dists):
-            mask = nbr_idx != idx
-            neighbor_lists[int(idx)] = (nbr_idx[mask], nbr_dist[mask])
-    spfh: dict[int, np.ndarray] = {}
-    for idx in needed:
-        idx = int(idx)
-        spfh[idx] = _spfh(points, normals, idx, neighbor_lists[idx][0])
+        extra_ragged = RaggedNeighborhoods.from_lists(extra_neighbors, extra_dists)
+        extra_ragged = extra_ragged.mask(
+            extra_ragged.indices != extra[extra_ragged.segment_ids]
+        )
+    spfh, spfh_of = _spfh_batch(
+        points, normals, needed, keypoint_indices, kp_ragged, extra, extra_ragged
+    )
 
-    # Pass 3: FPFH = own SPFH + weighted neighbor SPFHs.
-    descriptors = np.zeros((len(keypoint_indices), FPFH_DIMS))
-    for row, idx in enumerate(keypoint_indices):
-        nbr_idx, nbr_dist = neighbor_lists[int(idx)]
-        histogram = spfh[int(idx)].copy()
-        if len(nbr_idx):
-            weights = 1.0 / np.maximum(nbr_dist, 1e-6)
-            weighted = np.zeros(FPFH_DIMS)
-            for j, w in zip(nbr_idx, weights):
-                weighted += w * spfh[int(j)]
-            histogram += weighted / len(nbr_idx)
-        total = histogram.sum()
-        if total > 0:
-            histogram = histogram / total * 100.0  # PCL normalizes to 100
-        descriptors[row] = histogram
+    # Pass 3: FPFH = own SPFH + weighted neighbor SPFHs.  The per-
+    # keypoint weighted accumulation is a chunked strict-order gather +
+    # segment sum over the flat (pair, 33) products — bit-identical to
+    # a sequential per-neighbor accumulation loop.
+    weights = 1.0 / np.maximum(kp_ragged.distances, 1e-6)
+    weighted = gathered_weighted_segment_sums(
+        spfh, spfh_of[kp_ragged.indices], weights, kp_ragged.offsets
+    )
+    descriptors = spfh[spfh_of[keypoint_indices]].copy()
+    descriptors += weighted / np.maximum(kp_ragged.counts, 1)[:, None]
+    totals = descriptors.sum(axis=1)
+    positive = totals > 0
+    # PCL normalizes to 100 (h / total * 100, in that order).
+    descriptors[positive] = descriptors[positive] / totals[positive, None] * 100.0
     return descriptors
 
 
-def _spfh(
+def _spfh_batch(
     points: np.ndarray,
     normals: np.ndarray,
-    idx: int,
-    neighbor_idx: np.ndarray,
-) -> np.ndarray:
-    """Simplified PFH of one point: 3 x 11-bin angle histograms."""
-    histogram = np.zeros(FPFH_DIMS)
-    if len(neighbor_idx) == 0:
-        return histogram
-    p = points[idx]
-    n_p = normals[idx]
-    q = points[neighbor_idx]
-    n_q = normals[neighbor_idx]
-    d = q - p
-    dist = np.linalg.norm(d, axis=1)
-    ok = dist > 1e-9
-    if not np.any(ok):
-        return histogram
-    d = d[ok] / dist[ok, None]
-    n_q = n_q[ok]
+    needed: np.ndarray,
+    keypoint_indices: np.ndarray,
+    kp_ragged: RaggedNeighborhoods,
+    extra: np.ndarray,
+    extra_ragged: RaggedNeighborhoods,
+) -> tuple[np.ndarray, np.ndarray]:
+    """SPFHs for all ``needed`` points in one flat pair sweep.
 
-    # Darboux frame per pair: u = n_p, v = d x u, w = u x v.
-    u = np.broadcast_to(n_p, d.shape)
-    v = np.cross(d, u)
-    v_norm = np.linalg.norm(v, axis=1, keepdims=True)
-    good = v_norm[:, 0] > 1e-9
-    if not np.any(good):
-        return histogram
-    v = v[good] / v_norm[good]
-    u = u[good]
-    d = d[good]
-    n_q = n_q[good]
-    w = np.cross(u, v)
+    Returns ``(spfh, spfh_of)``: the ``(len(needed), 33)`` histogram
+    block in ``needed`` (ascending) order, plus a scatter table mapping
+    a point index to its row (-1 elsewhere).
+    """
+    # Assemble the CSR of every needed point's (self-excluded) support
+    # from the two search passes, in ``needed`` order: stack the two
+    # CSRs and gather their rows through a point-index -> row table
+    # (later rows win, like the seed's dict insertion order).
+    combined = RaggedNeighborhoods(
+        np.concatenate([kp_ragged.indices, extra_ragged.indices]),
+        np.concatenate(
+            [kp_ragged.offsets, kp_ragged.offsets[-1] + extra_ragged.offsets[1:]]
+        ),
+    )
+    owners = np.concatenate([keypoint_indices, extra])
+    row_of = np.full(int(owners.max()) + 1 if len(owners) else 1, -1, np.int64)
+    row_of[owners] = np.arange(len(owners), dtype=np.int64)
+    support = combined.select(row_of[needed])
 
-    alpha = np.einsum("ij,ij->i", v, n_q)  # in [-1, 1]
-    phi = np.einsum("ij,ij->i", u, d)  # in [-1, 1]
-    theta = np.arctan2(
-        np.einsum("ij,ij->i", w, n_q), np.einsum("ij,ij->i", u, n_q)
-    )  # in [-pi, pi]
+    histograms = np.zeros((len(needed), FPFH_DIMS))
+    if support.n_entries:
+        _spfh_pair_sweep(points, normals, needed, support, histograms)
 
-    for feature, lo, hi, offset in (
-        (alpha, -1.0, 1.0, 0),
-        (phi, -1.0, 1.0, FPFH_BINS),
-        (theta, -np.pi, np.pi, 2 * FPFH_BINS),
+    spfh_of = np.full(
+        int(needed[-1]) + 1 if len(needed) else 1, -1, dtype=np.int64
+    )
+    if len(needed):
+        spfh_of[needed] = np.arange(len(needed), dtype=np.int64)
+    return histograms, spfh_of
+
+
+def _cross(a, b, out, t1, t2):
+    """Row-wise cross product into ``out`` using scratch buffers.
+
+    Component-wise ``a1*b2 - a2*b1`` etc. — the same multiplies and
+    subtract as ``np.cross``, without its temporaries.
+    """
+    for k in range(3):
+        i, j = (k + 1) % 3, (k + 2) % 3
+        np.multiply(a[:, i], b[:, j], out=t1)
+        np.multiply(a[:, j], b[:, i], out=t2)
+        np.subtract(t1, t2, out=out[:, k])
+
+
+
+
+def _spfh_pair_sweep(
+    points: np.ndarray,
+    normals: np.ndarray,
+    needed: np.ndarray,
+    support: RaggedNeighborhoods,
+    histograms: np.ndarray,
+) -> None:
+    """Accumulate all SPFH pair features into ``histograms``, chunked.
+
+    Processes the flat (center, neighbor) pairs in segment-aligned
+    blocks through reused buffers: two gathers, the Darboux frame
+    (u = n_p, v = d x u, w = u x v) via in-place cross products, the
+    three angles, then one ``bincount`` per angle into the 3 x 11-bin
+    histograms.  Per-pair arithmetic replays the per-point formulation
+    operation for operation (``np.linalg.norm`` magnitudes, ``einsum``
+    dots), so results are bit-identical; only allocation churn is
+    removed.
+    """
+    segment_ids = support.segment_ids
+    counts = support.counts
+    capacity = int(
+        min(support.n_entries, max(_SPFH_BLOCK_PAIRS, counts.max(initial=0)))
+    )
+    vec = np.empty((5, capacity, 3))  # d, u (=n_p), v, w, n_q
+    col = np.empty((3, capacity))
+    flat_keys = np.empty(capacity, dtype=np.int64)
+    bins = np.empty(capacity, dtype=np.int64)
+
+    for seg_lo, seg_hi, lo, hi in segment_blocks(
+        support.offsets, _SPFH_BLOCK_PAIRS
     ):
-        bins = ((feature - lo) / (hi - lo) * FPFH_BINS).astype(np.int64)
-        bins = np.clip(bins, 0, FPFH_BINS - 1)
-        counts = np.bincount(bins, minlength=FPFH_BINS)
-        histogram[offset : offset + FPFH_BINS] += counts
-    return histogram
+        m = hi - lo
+        if m == 0:
+            continue
+        d, u, v, w, n_q = (vec[k, :m] for k in range(5))
+        scratch, scratch2, feature = (col[k, :m] for k in range(3))
+        center = needed[segment_ids[lo:hi]]
+        np.take(points, support.indices[lo:hi], axis=0, out=d)
+        np.take(points, center, axis=0, out=u)  # scratch: p
+        np.subtract(d, u, out=d)  # d = q - p
+        np.take(normals, center, axis=0, out=u)  # u = n_p
+        np.take(normals, support.indices[lo:hi], axis=0, out=n_q)
+
+        dist = np.linalg.norm(d, axis=1)
+        ok = dist > 1e-9
+        np.maximum(dist, 1e-300, out=scratch)  # exact for every ok row
+        np.divide(d, scratch[:, None], out=d)
+        d[~ok] = 0.0
+
+        _cross(d, u, v, scratch, scratch2)  # v = d x u
+        v_norm = np.linalg.norm(v, axis=1)
+        good = ok & (v_norm > 1e-9)
+        np.maximum(v_norm, 1e-300, out=scratch)
+        np.divide(v, scratch[:, None], out=v)
+        v[~good] = 0.0
+        _cross(u, v, w, scratch, scratch2)  # w = u x v
+
+        local_ids = segment_ids[lo:hi] - seg_lo
+        block_rows = slice(seg_lo, seg_hi)
+        n_rows = seg_hi - seg_lo
+        # alpha = v . n_q, phi = u . d, theta = atan2(w . n_q, u . n_q)
+        for pass_no, (left, right, offset, low, span) in enumerate((
+            (v, n_q, 0, -1.0, 2.0),
+            (u, d, FPFH_BINS, -1.0, 2.0),
+            (w, n_q, 2 * FPFH_BINS, -np.pi, 2.0 * np.pi),
+        )):
+            np.einsum("ij,ij->i", left, right, out=feature)
+            if pass_no == 2:
+                np.einsum("ij,ij->i", u, n_q, out=scratch)
+                np.arctan2(feature, scratch, out=feature)
+            # Replicates ``(feature - low) / span * FPFH_BINS`` exactly.
+            np.subtract(feature, low, out=feature)
+            np.divide(feature, span, out=feature)
+            np.multiply(feature, FPFH_BINS, out=feature)
+            np.floor(feature, out=feature)
+            bin_view = bins[:m]
+            np.clip(feature, 0, FPFH_BINS - 1, out=feature)
+            bin_view[:] = feature
+            keys = flat_keys[:m]
+            np.multiply(local_ids, FPFH_BINS, out=keys)
+            np.add(keys, bin_view, out=keys)
+            histograms[block_rows, offset : offset + FPFH_BINS] += np.bincount(
+                keys[good], minlength=n_rows * FPFH_BINS
+            ).reshape(n_rows, FPFH_BINS)
+
+

@@ -24,8 +24,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.ragged import RaggedNeighborhoods, segment_histogram
 from repro.io.pointcloud import PointCloud
-from repro.registration.descriptors.shot import shot_lrf
+from repro.registration.descriptors.shot import shot_lrf_batch
 from repro.registration.search import NeighborSearcher
 
 __all__ = ["sc3d_descriptors", "SC3D_DIMS"]
@@ -51,90 +52,94 @@ def sc3d_descriptors(
     keypoint_indices = np.asarray(keypoint_indices, dtype=np.int64)
     points = cloud.points
     normals = cloud.normals
-    descriptors = np.zeros((len(keypoint_indices), SC3D_DIMS))
+    n_keypoints = len(keypoint_indices)
 
     # Log-spaced shell edges from min_radius to radius.
     shell_edges = np.exp(
         np.linspace(np.log(min_radius), np.log(radius), _RADIAL_BINS + 1)
     )
 
+    # One batched support search, flattened to CSR with self-matches
+    # and sub-min_radius neighbors dropped.
     all_neighbors, all_dists = searcher.radius_batch(
         points[keypoint_indices], radius
     )
-    masked: list[tuple[np.ndarray, np.ndarray]] = []
-    for row, idx in enumerate(keypoint_indices):
-        nbr_idx, nbr_dist = all_neighbors[row], all_dists[row]
-        mask = (nbr_idx != idx) & (nbr_dist >= min_radius)
-        masked.append((nbr_idx[mask], nbr_dist[mask]))
+    ragged = RaggedNeighborhoods.from_lists(all_neighbors, all_dists)
+    ragged = ragged.mask(
+        (ragged.indices != keypoint_indices[ragged.segment_ids])
+        & (ragged.distances >= min_radius)
+    )
+    valid = ragged.counts >= 5
 
     # Local densities for the normalization weights: one deduplicated
     # batched search over the neighbors that actually enter a histogram
     # (supports below the 5-neighbor floor contribute none).
-    contributing = [nbr for nbr, _ in masked if len(nbr) >= 5]
-    unique_neighbors = (
-        np.unique(np.concatenate(contributing))
-        if contributing
-        else np.empty(0, dtype=np.int64)
-    )
-    density_of: dict[int, float] = {}
+    contributing = valid[ragged.segment_ids]
+    unique_neighbors = np.unique(ragged.indices[contributing])
+    density = np.ones(len(points))
     if len(unique_neighbors):
         close_lists, _ = searcher.radius_batch(
             points[unique_neighbors], min_radius * 2
         )
-        density_of = {
-            int(nbr): float(max(len(close), 1))
-            for nbr, close in zip(unique_neighbors, close_lists)
-        }
-
-    for row, idx in enumerate(keypoint_indices):
-        center = points[idx]
-        normal = normals[idx]
-        nbr_idx, nbr_dist = masked[row]
-        if len(nbr_idx) < 5:
-            continue
-        neighborhood = points[nbr_idx]
-
-        # Align the frame's z-axis ("north pole") with the normal; fix
-        # the azimuth reference with the SHOT LRF x-axis projected onto
-        # the normal plane.
-        frame = shot_lrf(center, neighborhood, radius)
-        z_axis = normal / max(np.linalg.norm(normal), 1e-12)
-        x_seed = frame[0] - (frame[0] @ z_axis) * z_axis
-        if np.linalg.norm(x_seed) < 1e-9:
-            x_seed = np.array([1.0, 0.0, 0.0])
-            x_seed -= (x_seed @ z_axis) * z_axis
-            if np.linalg.norm(x_seed) < 1e-9:
-                x_seed = np.array([0.0, 1.0, 0.0])
-                x_seed -= (x_seed @ z_axis) * z_axis
-        x_axis = x_seed / np.linalg.norm(x_seed)
-        y_axis = np.cross(z_axis, x_axis)
-        local = (neighborhood - center) @ np.vstack([x_axis, y_axis, z_axis]).T
-
-        azimuth = np.arctan2(local[:, 1], local[:, 0])
-        az_bin = ((azimuth + np.pi) / (2 * np.pi) * _AZIMUTH_BINS).astype(int)
-        az_bin = np.clip(az_bin, 0, _AZIMUTH_BINS - 1)
-        elevation = np.arccos(
-            np.clip(local[:, 2] / np.maximum(nbr_dist, 1e-12), -1.0, 1.0)
-        )
-        el_bin = (elevation / np.pi * _ELEVATION_BINS).astype(int)
-        el_bin = np.clip(el_bin, 0, _ELEVATION_BINS - 1)
-        rad_bin = np.clip(
-            np.searchsorted(shell_edges, nbr_dist, side="right") - 1,
-            0,
-            _RADIAL_BINS - 1,
+        density[unique_neighbors] = np.maximum(
+            np.fromiter(
+                (len(close) for close in close_lists),
+                dtype=np.float64,
+                count=len(close_lists),
+            ),
+            1.0,
         )
 
-        # Density normalization: each neighbor contributes inversely to
-        # the cube root of its local point density (Frome Sec. 2).
-        local_density = np.array([density_of[int(nbr)] for nbr in nbr_idx])
-        weights = 1.0 / np.cbrt(local_density)
+    # Align each frame's z-axis ("north pole") with the normal; fix the
+    # azimuth reference with the SHOT LRF x-axis projected onto the
+    # normal plane, falling back to the world x then y axes when the
+    # projection collapses.
+    centers = points[keypoint_indices]
+    lrf = shot_lrf_batch(centers, points, ragged, radius)
+    kp_normals = normals[keypoint_indices]
+    z_axis = kp_normals / np.maximum(
+        np.linalg.norm(kp_normals, axis=1, keepdims=True), 1e-12
+    )
+    x_seed = lrf[:, 0] - np.einsum("ij,ij->i", lrf[:, 0], z_axis)[:, None] * z_axis
+    for fallback in ([1.0, 0.0, 0.0], [0.0, 1.0, 0.0]):
+        weak = np.linalg.norm(x_seed, axis=1) < 1e-9
+        if not np.any(weak):
+            break
+        seed = np.broadcast_to(np.asarray(fallback), (int(weak.sum()), 3))
+        z_weak = z_axis[weak]
+        x_seed[weak] = seed - np.einsum("ij,ij->i", seed, z_weak)[:, None] * z_weak
+    x_norm = np.linalg.norm(x_seed, axis=1)
+    x_axis = x_seed / np.where(x_norm, x_norm, 1.0)[:, None]
+    y_axis = np.cross(z_axis, x_axis)
+    frames = np.stack([x_axis, y_axis, z_axis], axis=1)
 
-        flat = (az_bin * _ELEVATION_BINS + el_bin) * _RADIAL_BINS + rad_bin
-        histogram = np.bincount(
-            flat, weights=weights, minlength=SC3D_DIMS
-        ).astype(np.float64)
-        norm = np.linalg.norm(histogram)
-        if norm > 0:
-            histogram /= norm
-        descriptors[row] = histogram
-    return descriptors
+    segment_ids = ragged.segment_ids
+    offsets_flat = points[ragged.indices] - centers[segment_ids]
+    local = np.einsum("pij,pj->pi", frames[segment_ids], offsets_flat)
+
+    azimuth = np.arctan2(local[:, 1], local[:, 0])
+    az_bin = ((azimuth + np.pi) / (2 * np.pi) * _AZIMUTH_BINS).astype(int)
+    az_bin = np.clip(az_bin, 0, _AZIMUTH_BINS - 1)
+    elevation = np.arccos(
+        np.clip(local[:, 2] / np.maximum(ragged.distances, 1e-12), -1.0, 1.0)
+    )
+    el_bin = (elevation / np.pi * _ELEVATION_BINS).astype(int)
+    el_bin = np.clip(el_bin, 0, _ELEVATION_BINS - 1)
+    rad_bin = np.clip(
+        np.searchsorted(shell_edges, ragged.distances, side="right") - 1,
+        0,
+        _RADIAL_BINS - 1,
+    )
+
+    # Density normalization: each neighbor contributes inversely to
+    # the cube root of its local point density (Frome Sec. 2).
+    weights = 1.0 / np.cbrt(density[ragged.indices])
+
+    flat = (az_bin * _ELEVATION_BINS + el_bin) * _RADIAL_BINS + rad_bin
+    histograms = segment_histogram(
+        segment_ids, flat, SC3D_DIMS, n_keypoints, weights=weights
+    )
+    norms = np.linalg.norm(histograms, axis=1)
+    histograms /= np.where(norms, norms, 1.0)[:, None]
+    histograms[~valid] = 0.0
+    return histograms

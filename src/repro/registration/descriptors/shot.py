@@ -17,10 +17,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.ragged import (
+    RaggedNeighborhoods,
+    batched_eigh,
+    segment_histogram,
+    segment_outer_sums,
+    segment_sum,
+)
 from repro.io.pointcloud import PointCloud
 from repro.registration.search import NeighborSearcher
 
-__all__ = ["shot_descriptors", "SHOT_DIMS", "shot_lrf"]
+__all__ = ["shot_descriptors", "SHOT_DIMS", "shot_lrf", "shot_lrf_batch"]
 
 _AZIMUTH_SECTORS = 8
 _ELEVATION_SECTORS = 2
@@ -67,6 +74,48 @@ def shot_lrf(
     return np.vstack([x_axis, y_axis, z_axis])
 
 
+def shot_lrf_batch(
+    centers: np.ndarray, points: np.ndarray, ragged: RaggedNeighborhoods, radius: float
+) -> np.ndarray:
+    """SHOT LRFs for all neighborhoods at once: ``(Q, 3, 3)`` row frames.
+
+    Batched form of :func:`shot_lrf`: distance-weighted covariances are
+    assembled from segment sums, decomposed with one stacked ``eigh``,
+    and Tombari's weighted-majority sign disambiguation is applied with
+    per-segment counts.  Degenerate neighborhoods (fewer than 3 points,
+    zero total weight, collapsed y-axis) get the identity frame.
+    """
+    offsets_flat = points[ragged.indices] - centers[ragged.segment_ids]
+    dist = np.linalg.norm(offsets_flat, axis=1)
+    weights = np.maximum(radius - dist, 0.0)
+    totals = segment_sum(weights, ragged.offsets)
+    well_posed = (totals > 1e-12) & (ragged.counts >= 3)
+
+    covariances = segment_outer_sums(
+        offsets_flat, ragged.offsets, weights=weights
+    ) / np.where(well_posed, totals, 1.0).reshape(-1, 1, 1)
+    _, eigenvectors = batched_eigh(covariances, well_posed)
+    # eigh returns ascending order: z-axis = smallest, x-axis = largest.
+    z_axis = eigenvectors[:, :, 0].copy()
+    x_axis = eigenvectors[:, :, 2].copy()
+    for axis in (x_axis, z_axis):
+        projection = weights * np.einsum(
+            "ij,ij->i", offsets_flat, axis[ragged.segment_ids]
+        )
+        positive = segment_sum((projection >= 0).astype(np.int64), ragged.offsets)
+        flip = positive < ragged.counts - positive
+        axis[flip] = -axis[flip]
+    y_axis = np.cross(z_axis, x_axis)
+    y_norm = np.linalg.norm(y_axis, axis=1)
+    well_posed &= y_norm >= 1e-12
+    y_axis /= np.where(y_norm, y_norm, 1.0)[:, None]
+    x_axis = np.cross(y_axis, z_axis)
+
+    frames = np.stack([x_axis, y_axis, z_axis], axis=1)
+    frames[~well_posed] = np.eye(3)
+    return frames
+
+
 def shot_descriptors(
     cloud: PointCloud,
     searcher: NeighborSearcher,
@@ -81,38 +130,44 @@ def shot_descriptors(
     keypoint_indices = np.asarray(keypoint_indices, dtype=np.int64)
     points = cloud.points
     normals = cloud.normals
-    descriptors = np.zeros((len(keypoint_indices), SHOT_DIMS))
 
+    # One batched radius search, flattened to CSR (self-matches
+    # dropped); LRFs, binning, and histograms are batched kernels.
     all_neighbors, all_dists = searcher.radius_batch(
         points[keypoint_indices], radius
     )
-    for row, idx in enumerate(keypoint_indices):
-        center = points[idx]
-        mask = all_neighbors[row] != idx
-        nbr_idx, nbr_dist = all_neighbors[row][mask], all_dists[row][mask]
-        if len(nbr_idx) < 5:
-            continue
-        neighborhood = points[nbr_idx]
-        frame = shot_lrf(center, neighborhood, radius)
-        local = (neighborhood - center) @ frame.T
+    ragged = RaggedNeighborhoods.from_lists(all_neighbors, all_dists)
+    ragged = ragged.mask(ragged.indices != keypoint_indices[ragged.segment_ids])
+    valid = ragged.counts >= 5
 
-        # Partition: azimuth sector, elevation (sign of local z), radial
-        # shell (inner half / outer half of the support sphere).
-        azimuth = np.arctan2(local[:, 1], local[:, 0])
-        az_bin = ((azimuth + np.pi) / (2 * np.pi) * _AZIMUTH_SECTORS).astype(int)
-        az_bin = np.clip(az_bin, 0, _AZIMUTH_SECTORS - 1)
-        el_bin = (local[:, 2] >= 0).astype(int)
-        rad_bin = (nbr_dist >= radius / 2.0).astype(int)
+    centers = points[keypoint_indices]
+    frames = shot_lrf_batch(centers, points, ragged, radius)
+    segment_ids = ragged.segment_ids
+    offsets_flat = points[ragged.indices] - centers[segment_ids]
+    local = np.einsum("pij,pj->pi", frames[segment_ids], offsets_flat)
 
-        cosine = np.clip(normals[nbr_idx] @ frame[2], -1.0, 1.0)
-        cos_bin = ((cosine + 1.0) / 2.0 * _COSINE_BINS).astype(int)
-        cos_bin = np.clip(cos_bin, 0, _COSINE_BINS - 1)
+    # Partition: azimuth sector, elevation (sign of local z), radial
+    # shell (inner half / outer half of the support sphere).
+    azimuth = np.arctan2(local[:, 1], local[:, 0])
+    az_bin = ((azimuth + np.pi) / (2 * np.pi) * _AZIMUTH_SECTORS).astype(int)
+    az_bin = np.clip(az_bin, 0, _AZIMUTH_SECTORS - 1)
+    el_bin = (local[:, 2] >= 0).astype(int)
+    rad_bin = (ragged.distances >= radius / 2.0).astype(int)
 
-        volume = (az_bin * _ELEVATION_SECTORS + el_bin) * _RADIAL_SECTORS + rad_bin
-        flat = volume * _COSINE_BINS + cos_bin
-        histogram = np.bincount(flat, minlength=SHOT_DIMS).astype(np.float64)
-        norm = np.linalg.norm(histogram)
-        if norm > 0:
-            histogram /= norm
-        descriptors[row] = histogram
-    return descriptors
+    cosine = np.clip(
+        np.einsum("ij,ij->i", normals[ragged.indices], frames[segment_ids, 2]),
+        -1.0,
+        1.0,
+    )
+    cos_bin = ((cosine + 1.0) / 2.0 * _COSINE_BINS).astype(int)
+    cos_bin = np.clip(cos_bin, 0, _COSINE_BINS - 1)
+
+    volume = (az_bin * _ELEVATION_SECTORS + el_bin) * _RADIAL_SECTORS + rad_bin
+    flat = volume * _COSINE_BINS + cos_bin
+    histograms = segment_histogram(
+        segment_ids, flat, SHOT_DIMS, len(keypoint_indices)
+    ).astype(np.float64)
+    norms = np.linalg.norm(histograms, axis=1)
+    histograms /= np.where(norms, norms, 1.0)[:, None]
+    histograms[~valid] = 0.0
+    return histograms

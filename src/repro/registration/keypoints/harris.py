@@ -11,6 +11,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.ragged import (
+    RaggedNeighborhoods,
+    batched_eigh,
+    gathered_moment_covariances,
+)
 from repro.io.pointcloud import PointCloud
 from repro.registration.search import NeighborSearcher
 
@@ -56,24 +61,32 @@ def harris_keypoints(
         raise ValueError("radius must be positive")
     points = cloud.points
     normals = cloud.normals
-    n = len(points)
-    scores = np.full(n, -np.inf)
 
+    # One batched radius search, then the normal-covariance structure
+    # tensors of every neighborhood assembled and decomposed at once.
     all_neighbors, _ = searcher.radius_batch(points, radius)
-    for i in range(n):
-        neighbor_idx = all_neighbors[i]
-        if len(neighbor_idx) < 5:
-            continue
-        nbr_normals = normals[neighbor_idx]
-        centered = nbr_normals - nbr_normals.mean(axis=0)
-        tensor = centered.T @ centered / len(neighbor_idx)
-        if response == "harris":
-            det = np.linalg.det(tensor)
-            trace = np.trace(tensor)
-            scores[i] = det - k * trace * trace
-        else:
-            eigenvalues = np.linalg.eigvalsh(tensor)
-            scores[i] = eigenvalues[0] * eigenvalues[1]
+    ragged = RaggedNeighborhoods.from_lists(all_neighbors)
+    valid = ragged.counts >= 5
+
+    # Neighbor normals are re-expressed relative to the center point's
+    # normal (covariance is shift-invariant): normals cluster around
+    # it, so the raw moments stay at difference scale instead of O(1),
+    # keeping the cancellation in cov = M2/n - mean mean^T benign.
+    tensors, _ = gathered_moment_covariances(
+        normals,
+        ragged.indices,
+        ragged.offsets,
+        center_source=normals,
+        center_ids=ragged.segment_ids,
+    )
+    if response == "harris":
+        det = np.linalg.det(tensors)
+        trace = np.trace(tensors, axis1=1, axis2=2)
+        scores = det - k * trace * trace
+    else:
+        eigenvalues, _ = batched_eigh(tensors, valid)
+        scores = eigenvalues[:, 0] * eigenvalues[:, 1]
+    scores = np.where(valid, scores, -np.inf)
 
     candidates = np.nonzero(scores > threshold)[0]
     if len(candidates) == 0:

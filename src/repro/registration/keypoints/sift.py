@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.ragged import RaggedNeighborhoods, segment_max, segment_min
 from repro.io.pointcloud import PointCloud
 from repro.registration.search import NeighborSearcher
 
@@ -55,59 +56,71 @@ def sift_keypoints(
     scales = sorted(set(scales))
 
     # Smooth the signal at every scale with Gaussian-weighted neighbors.
-    # One batched radius search at the widest support covers every scale.
+    # One batched radius search at the widest support covers every scale;
+    # flattened to CSR, each scale's smoothing pass is two bincounts.
     smoothed = np.empty((len(scales), n))
     max_radius = 2.0 * scales[-1]
     cache_idx, cache_dist = searcher.radius_batch(points, max_radius)
-    neighbor_cache: list[tuple[np.ndarray, np.ndarray]] = list(
-        zip(cache_idx, cache_dist)
-    )
+    ragged = RaggedNeighborhoods.from_lists(cache_idx, cache_dist)
+    flat_idx, flat_dist = ragged.indices, ragged.distances
+    segment_ids = ragged.segment_ids
     for s, sigma in enumerate(scales):
-        support = 2.0 * sigma
-        for i in range(n):
-            idx, dist = neighbor_cache[i]
-            mask = dist <= support
-            if not np.any(mask):
-                smoothed[s, i] = signal[i]
-                continue
-            weights = np.exp(-0.5 * (dist[mask] / sigma) ** 2)
-            smoothed[s, i] = float(
-                np.sum(weights * signal[idx[mask]]) / np.sum(weights)
-            )
+        in_support = flat_dist <= 2.0 * sigma
+        ids = segment_ids[in_support]
+        weights = np.exp(-0.5 * (flat_dist[in_support] / sigma) ** 2)
+        numerator = np.bincount(
+            ids, weights=weights * signal[flat_idx[in_support]], minlength=n
+        )
+        denominator = np.bincount(ids, weights=weights, minlength=n)
+        covered = np.bincount(ids, minlength=n) > 0
+        smoothed[s] = np.divide(
+            numerator,
+            np.where(covered, denominator, 1.0),
+            out=signal.copy(),
+            where=covered,
+        )
 
     dog = np.diff(smoothed, axis=0)  # (n_scales - 1, n)
 
     # A keypoint is a spatial + scale extremum of the DoG with contrast.
-    keypoints: list[int] = []
+    # Per scale, the masked per-neighborhood max/min become segment
+    # reductions over +-inf-filled flat arrays.
+    keypoint_mask = np.zeros(n, dtype=bool)
+    not_self = flat_idx != segment_ids
     for s in range(1, len(dog) - 1) if len(dog) > 2 else range(len(dog)):
         lower = dog[s - 1] if s - 1 >= 0 else None
         upper = dog[s + 1] if s + 1 < len(dog) else None
         sigma = scales[s]
-        for i in range(n):
-            value = dog[s, i]
-            if abs(value) < contrast_threshold:
+        value = dog[s]
+        spatial_mask = (flat_dist <= sigma) & not_self
+        has_neighbors = (
+            np.bincount(segment_ids[spatial_mask], minlength=n) > 0
+        )
+        gathered = dog[s, flat_idx]
+        is_max = value > segment_max(
+            np.where(spatial_mask, gathered, -np.inf), ragged.offsets
+        )
+        is_min = value < segment_min(
+            np.where(spatial_mask, gathered, np.inf), ragged.offsets
+        )
+        passes = (
+            (np.abs(value) >= contrast_threshold)
+            & has_neighbors
+            & (is_max | is_min)
+        )
+        for band in (lower, upper):
+            if band is None:
                 continue
-            idx, dist = neighbor_cache[i]
-            mask = (dist <= sigma) & (idx != i)
-            spatial = dog[s, idx[mask]]
-            if len(spatial) == 0:
-                continue
-            is_max = value > spatial.max()
-            is_min = value < spatial.min()
-            if not (is_max or is_min):
-                continue
-            if lower is not None:
-                neighborhood = np.append(lower[idx[mask]], lower[i])
-                if is_max and value <= neighborhood.max():
-                    continue
-                if is_min and value >= neighborhood.min():
-                    continue
-            if upper is not None:
-                neighborhood = np.append(upper[idx[mask]], upper[i])
-                if is_max and value <= neighborhood.max():
-                    continue
-                if is_min and value >= neighborhood.min():
-                    continue
-            keypoints.append(i)
+            gathered = band[flat_idx]
+            band_max = np.maximum(
+                segment_max(np.where(spatial_mask, gathered, -np.inf), ragged.offsets),
+                band,
+            )
+            band_min = np.minimum(
+                segment_min(np.where(spatial_mask, gathered, np.inf), ragged.offsets),
+                band,
+            )
+            passes &= np.where(is_max, value > band_max, value < band_min)
+        keypoint_mask |= passes
 
-    return np.array(sorted(set(keypoints)), dtype=np.int64)
+    return np.flatnonzero(keypoint_mask).astype(np.int64)

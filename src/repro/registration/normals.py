@@ -25,6 +25,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.ragged import (
+    RaggedNeighborhoods,
+    batched_eigh,
+    gathered_moment_covariances,
+    segment_sum,
+)
 from repro.io.pointcloud import PointCloud
 from repro.registration.search import NeighborSearcher
 
@@ -71,30 +77,26 @@ def estimate_normals(
     """
     config = config or NormalEstimationConfig()
     points = cloud.points
-    n = len(points)
-    normals = np.zeros((n, 3))
-    curvature = np.zeros(n)
     viewpoint = np.asarray(config.orient_towards, dtype=np.float64)
 
     # One batched radius search for the whole stage (the heaviest search
-    # consumer in Fig. 4 issues a single call instead of n).
+    # consumer in Fig. 4 issues a single call instead of n), flattened
+    # to CSR so every aggregation below is one dense batched kernel.
     all_neighbors, _ = searcher.radius_batch(points, config.radius)
-    for i in range(n):
-        neighbor_idx = all_neighbors[i]
-        if len(neighbor_idx) < config.min_neighbors:
-            normals[i] = (0.0, 0.0, 1.0)
-            continue
-        neighborhood = points[neighbor_idx]
-        if config.method == "plane_svd":
-            normal, curv = _plane_svd_normal(neighborhood)
-        else:
-            normal, curv = _area_weighted_normal(points[i], neighborhood)
-        # Resolve the sign ambiguity: point towards the viewpoint.
-        to_view = viewpoint - points[i]
-        if normal @ to_view < 0:
-            normal = -normal
-        normals[i] = normal
-        curvature[i] = curv
+    ragged = RaggedNeighborhoods.from_lists(all_neighbors)
+    valid = ragged.counts >= config.min_neighbors
+
+    if config.method == "plane_svd":
+        normals, curvature = _plane_svd_batch(points, ragged, valid)
+    else:
+        normals, curvature = _area_weighted_batch(points, ragged, valid)
+
+    # Resolve the sign ambiguity: point towards the viewpoint.
+    flip = np.einsum("ij,ij->i", normals, viewpoint - points) < 0
+    normals = np.where(flip[:, None], -normals, normals)
+    # Sparse neighborhoods get a zero curvature and an upward normal.
+    normals[~valid] = (0.0, 0.0, 1.0)
+    curvature[~valid] = 0.0
 
     result = cloud.copy()
     result.set_attribute("normals", normals)
@@ -102,48 +104,86 @@ def estimate_normals(
     return result
 
 
-def _plane_svd_normal(neighborhood: np.ndarray) -> tuple[np.ndarray, float]:
-    """Smallest-eigenvector normal + curvature from the covariance."""
-    centered = neighborhood - neighborhood.mean(axis=0)
-    covariance = centered.T @ centered / len(neighborhood)
-    eigenvalues, eigenvectors = np.linalg.eigh(covariance)
-    normal = eigenvectors[:, 0]
-    total = float(eigenvalues.sum())
-    curvature = float(eigenvalues[0]) / total if total > 1e-12 else 0.0
-    norm = np.linalg.norm(normal)
-    return (normal / norm if norm > 0 else np.array([0.0, 0.0, 1.0])), curvature
+def _plane_svd_batch(
+    points: np.ndarray, ragged: RaggedNeighborhoods, valid: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Smallest-eigenvector normals + curvatures, all neighborhoods at once.
 
-
-def _area_weighted_normal(
-    point: np.ndarray, neighborhood: np.ndarray
-) -> tuple[np.ndarray, float]:
-    """Area-weighted average of fan-triangle normals around ``point``.
-
-    Neighbors are sorted by angle in the tangent plane of a rough
-    (PlaneSVD) normal, then consecutive pairs form triangles with the
-    center point; the cross product of each triangle's edges is both its
-    normal direction and (half) its area, so summing raw cross products
-    is exactly the area weighting.
+    Stacked 3x3 covariances assembled from query-local segment moments,
+    then a single batched ``eigh`` — the per-matrix LAPACK math is
+    identical to the per-point formulation.
     """
-    rough_normal, curvature = _plane_svd_normal(neighborhood)
-    offsets = neighborhood - point
-    # Project offsets into the tangent plane to get fan ordering.
-    basis_u = np.cross(rough_normal, [1.0, 0.0, 0.0])
-    if np.linalg.norm(basis_u) < 1e-8:
-        basis_u = np.cross(rough_normal, [0.0, 1.0, 0.0])
-    basis_u /= np.linalg.norm(basis_u)
-    basis_v = np.cross(rough_normal, basis_u)
-    angles = np.arctan2(offsets @ basis_v, offsets @ basis_u)
-    order = np.argsort(angles, kind="stable")
-    ring = offsets[order]
-    # Sum of cross products of consecutive fan edges (wrapping around).
-    crosses = np.cross(ring, np.roll(ring, -1, axis=0))
-    total = crosses.sum(axis=0)
-    norm = np.linalg.norm(total)
-    if norm < 1e-12:
-        return rough_normal, curvature
-    normal = total / norm
+    counts = ragged.counts
+    covariances, _ = gathered_moment_covariances(
+        points,
+        ragged.indices,
+        ragged.offsets,
+        center_source=points,
+        center_ids=ragged.segment_ids,
+    )
+    eigenvalues, eigenvectors = batched_eigh(covariances, valid)
+    normals = eigenvectors[:, :, 0].copy()
+    totals = eigenvalues.sum(axis=1)
+    curvature = np.divide(
+        eigenvalues[:, 0],
+        np.where(totals > 1e-12, totals, 1.0),
+        out=np.zeros(len(counts), dtype=np.float64),
+        where=totals > 1e-12,
+    )
+    norms = np.linalg.norm(normals, axis=1)
+    degenerate = norms == 0
+    normals[degenerate] = (0.0, 0.0, 1.0)
+    norms[degenerate] = 1.0
+    return normals / norms[:, None], curvature
+
+
+def _area_weighted_batch(
+    points: np.ndarray, ragged: RaggedNeighborhoods, valid: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Area-weighted average of fan-triangle normals, batched.
+
+    Per point, neighbors are sorted by angle in the tangent plane of a
+    rough (PlaneSVD) normal, then consecutive pairs form triangles with
+    the center point; the cross product of each triangle's edges is
+    both its normal direction and (half) its area, so summing raw cross
+    products is exactly the area weighting.  The fan ordering is a
+    single global ``lexsort`` by (segment, angle) and the wrap-around
+    "next neighbor in the ring" is an index shift within segments.
+    """
+    rough_normals, curvature = _plane_svd_batch(points, ragged, valid)
+
+    segment_ids = ragged.segment_ids
+    offsets_flat = points[ragged.indices] - points[segment_ids]
+    # Tangent-plane bases from the rough normals, with the degenerate
+    # (rough parallel to x-axis) fallback applied row-wise.
+    basis_u = np.cross(rough_normals, [1.0, 0.0, 0.0])
+    weak = np.linalg.norm(basis_u, axis=1) < 1e-8
+    if np.any(weak):
+        basis_u[weak] = np.cross(rough_normals[weak], [0.0, 1.0, 0.0])
+    basis_u /= np.maximum(np.linalg.norm(basis_u, axis=1, keepdims=True), 1e-300)
+    basis_v = np.cross(rough_normals, basis_u)
+
+    angles = np.arctan2(
+        np.einsum("ij,ij->i", offsets_flat, basis_v[segment_ids]),
+        np.einsum("ij,ij->i", offsets_flat, basis_u[segment_ids]),
+    )
+    # Stable within-segment angle sort (matches per-point stable argsort).
+    order = np.lexsort((angles, segment_ids))
+    ring = offsets_flat[order]
+
+    # "Next in ring" with per-segment wrap-around.
+    nxt = np.arange(1, ragged.n_entries + 1, dtype=np.int64)
+    nonempty = ragged.counts > 0
+    if np.any(nonempty):
+        nxt[ragged.offsets[1:][nonempty] - 1] = ragged.offsets[:-1][nonempty]
+    crosses = np.cross(ring, ring[nxt]) if ragged.n_entries else ring
+    totals = segment_sum(crosses, ragged.offsets)
+
+    norms = np.linalg.norm(totals, axis=1)
+    strong = norms >= 1e-12
+    fan = totals / np.where(norms, norms, 1.0)[:, None]
     # Keep the orientation consistent with the rough estimate.
-    if normal @ rough_normal < 0:
-        normal = -normal
-    return normal, curvature
+    against = np.einsum("ij,ij->i", fan, rough_normals) < 0
+    fan = np.where(against[:, None], -fan, fan)
+    normals = np.where(strong[:, None], fan, rough_normals)
+    return normals, curvature

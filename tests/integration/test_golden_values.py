@@ -13,6 +13,19 @@ differences across BLAS/numpy builds.
 Regenerate after an *intentional* accuracy change:
 
     PYTHONPATH=src python tests/integration/test_golden_values.py --regenerate
+
+Re-pin history: the vectorized ragged-neighborhood kernels (PR 5)
+assemble neighborhood covariances from chunked raw moments in
+query-local coordinates instead of per-point mean-centered BLAS
+matmuls.  Both formulations are deterministic and agree to ~1e-13,
+but for a handful of grazing-angle points whose normal is
+perpendicular to the viewpoint ray (orientation dot product ~1e-15)
+the last-ulp difference flips the normal's *sign* tie-break.  In the
+quickstart scenario that moved one RANSAC inlier (11 -> 10) and
+shifted the KPCE/RPCE nodes_visited work counters by ~0.1%; the final
+transform and errors changed at the 1e-12 level and every other
+discrete outcome (iterations, keyframe schedule, loop edges) is
+unchanged.  The golden file pins the segment-kernel rule.
 """
 
 import json
