@@ -122,7 +122,9 @@ class ReplaySearcher:
     def points(self):
         return self._searcher.points
 
-    def radius_batch(self, queries, r, sort=False):
+    def radius_batch(self, queries, r, sort=False, self_indices=None):
+        # ``self_indices`` (the reuse-cache hint) is accepted and
+        # dropped: a replaying searcher must not fill or serve a cache.
         if self._cursor is None:
             start = time.perf_counter()
             result = self._searcher.radius_batch(queries, r, sort=sort)

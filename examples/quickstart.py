@@ -5,15 +5,20 @@ sequence), registers consecutive frames with the default pipeline, and
 prints the estimated transform against ground truth — the minimal
 end-to-end use of the public API.
 
-Run:  python examples/quickstart.py [--profile]
+Run:  python examples/quickstart.py [--profile] [--search-backend gridhash]
 
 ``--profile`` prints the extended per-stage Profiler breakdown (total /
 KD-tree search / KD-tree build / aggregation / share), so you can see
 where registration time goes without running the figure benches.
+``--search-backend`` swaps the neighbor-search backend (see README
+"Neighbor-search backends") so the same table shows search vs kernel
+time per backend — e.g. ``gridhash`` trades tree traversal for flat
+27-cell voxel probes.
 """
 
 import argparse
 
+from repro.core.gridhash import GridHashConfig
 from repro.geometry import metrics
 from repro.io import make_sequence
 from repro.profiling import StageProfiler
@@ -23,10 +28,16 @@ from repro.registration import (
     Pipeline,
     PipelineConfig,
     RPCEConfig,
+    SearchConfig,
 )
+from repro.registration.search import _BACKENDS
 
 
-def main(profile: bool = False):
+def main(
+    profile: bool = False,
+    search_backend: str = "twostage",
+    gridhash_cell: float = 1.0,
+):
     # 1. Data: two consecutive frames of a synthetic urban drive, with
     # exact ground truth for the relative motion.
     sequence = make_sequence(n_frames=2, seed=42, step=1.0)
@@ -44,8 +55,13 @@ def main(profile: bool = False):
             error_metric="point_to_plane",
             max_iterations=25,
         ),
+        search=SearchConfig(
+            backend=search_backend,
+            gridhash=GridHashConfig(cell_size=gridhash_cell),
+        ),
     )
     pipeline = Pipeline(config)
+    print(f"search backend: {search_backend}")
 
     # 3. Register, with per-stage profiling (paper Fig. 4's view).
     # ``pipeline.register(source, target)`` does exactly this; spelling
@@ -84,4 +100,23 @@ if __name__ == "__main__":
         action="store_true",
         help="print the extended per-stage breakdown (adds aggregation + share)",
     )
-    raise SystemExit(main(profile=parser.parse_args().profile))
+    parser.add_argument(
+        "--search-backend",
+        choices=_BACKENDS,
+        default="twostage",
+        help="neighbor-search backend for every pipeline stage",
+    )
+    parser.add_argument(
+        "--gridhash-cell",
+        type=float,
+        default=1.0,
+        help="gridhash voxel cell size (exact for radii <= cell size)",
+    )
+    args = parser.parse_args()
+    raise SystemExit(
+        main(
+            profile=args.profile,
+            search_backend=args.search_backend,
+            gridhash_cell=args.gridhash_cell,
+        )
+    )

@@ -7,6 +7,7 @@ approximate search algorithm that reclaims the structure's redundancy.
 """
 
 from repro.core.approx import ApproximateSearch, ApproximateSearchConfig
+from repro.core.gridhash import GridHashConfig, GridHashIndex
 from repro.core.ragged import RaggedNeighborhoods
 from repro.core.trace import LeafVisitRecord, QueryTrace
 from repro.core.twostage import TwoStageKDTree
@@ -15,6 +16,8 @@ __all__ = [
     "TwoStageKDTree",
     "ApproximateSearch",
     "ApproximateSearchConfig",
+    "GridHashConfig",
+    "GridHashIndex",
     "QueryTrace",
     "LeafVisitRecord",
     "RaggedNeighborhoods",

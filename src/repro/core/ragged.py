@@ -42,6 +42,7 @@ import numpy as np
 
 __all__ = [
     "RaggedNeighborhoods",
+    "csr_radius_select",
     "lexsort_voxel_groups",
     "segment_sum",
     "segment_sum_sequential",
@@ -190,6 +191,64 @@ class RaggedNeighborhoods:
             offsets,
             None if self.distances is None else self.distances[keep],
         )
+
+
+def csr_radius_select(
+    indices: np.ndarray,
+    offsets: np.ndarray,
+    sq_dists: np.ndarray,
+    dists: np.ndarray,
+    rows: np.ndarray,
+    r: float,
+    sort: bool = False,
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Derive a radius-``r`` result from a cached larger-radius CSR.
+
+    The nested-radius reuse kernel: given the CSR result of a radius
+    search at some radius ``R >= r`` (``indices``/``offsets``/``dists``
+    plus the backend's *squared* distances ``sq_dists``), gather the
+    requested ``rows`` and keep each entry iff ``sq_dist <= r * r`` —
+    the exact acceptance predicate every exact backend applies, over
+    the same per-coordinate squared distances — so the derived result
+    is bit-identical to a fresh radius-``r`` query of those rows.
+    Cached entries arrive in the backends' ascending-index order and
+    filtering preserves it; ``sort=True`` applies the backends' stable
+    per-row distance sort.  Returns ragged ``(index_lists, dist_lists)``
+    exactly like ``radius_batch``.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if len(rows) == 0:
+        return [], []
+    counts = np.diff(offsets)[rows]
+    sel_offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum(counts, out=sel_offsets[1:])
+    ids = np.repeat(np.arange(len(rows), dtype=np.int64), counts)
+    source = offsets[:-1][rows][ids] + (
+        np.arange(sel_offsets[-1], dtype=np.int64) - sel_offsets[:-1][ids]
+    )
+    keep = sq_dists[source] <= r * r
+    kept_source = source[keep]
+    kept_ids = ids[keep]
+    kept_idx = indices[kept_source]
+    kept_dist = dists[kept_source]
+    if sort and len(kept_ids):
+        # Per-row stable distance sort: primary key row, secondary
+        # distance, position tiebreak — replays each backend's
+        # ``argsort(dists, kind="stable")`` row by row.
+        order = np.lexsort(
+            (np.arange(len(kept_ids), dtype=np.int64), kept_dist, kept_ids)
+        )
+        kept_idx = kept_idx[order]
+        kept_dist = kept_dist[order]
+    splits = np.zeros(len(rows), dtype=np.int64)
+    np.cumsum(
+        np.bincount(kept_ids, minlength=len(rows))[:-1], out=splits[1:]
+    )
+    boundaries = splits[1:]
+    return (
+        np.split(kept_idx, boundaries),
+        np.split(kept_dist, boundaries),
+    )
 
 
 def lexsort_voxel_groups(

@@ -392,16 +392,19 @@ class TwoStageKDTree:
         k = min(k, self.n)
         leaf_scan = leaf_scan or self._exact_leaf_scan
         record = QueryTrace()
-        heap: list[tuple[float, int]] = []  # max-heap via negated distances
+        # Max-heap via negated keys; both fields negated so heap[0] is
+        # the lexicographically largest (d_sq, idx) — the element the
+        # shared (distance, index) tie rule evicts first.
+        heap: list[tuple[float, int]] = []
 
         def bound() -> float:
             return -heap[0][0] if len(heap) == k else np.inf
 
         def offer(idx: int, d_sq: float) -> None:
             if len(heap) < k:
-                heapq.heappush(heap, (-d_sq, idx))
-            elif d_sq < -heap[0][0]:
-                heapq.heapreplace(heap, (-d_sq, idx))
+                heapq.heappush(heap, (-d_sq, -idx))
+            elif (d_sq, idx) < (-heap[0][0], -heap[0][1]):
+                heapq.heapreplace(heap, (-d_sq, -idx))
 
         contrib = np.zeros(self.ndim)
         stack: list[tuple[int, float, np.ndarray]] = []
@@ -446,7 +449,7 @@ class TwoStageKDTree:
                 stack.append((int(near), bound_sq, contrib))
                 record.stack_pushes += 1
 
-        entries = sorted(((-neg_sq, idx) for neg_sq, idx in heap))
+        entries = sorted(((-neg_sq, -neg_idx) for neg_sq, neg_idx in heap))
         indices = np.array([idx for _, idx in entries], dtype=np.int64)
         dists = np.sqrt(np.array([sq for sq, _ in entries]))
         record.results = len(indices)

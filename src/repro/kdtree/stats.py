@@ -37,6 +37,14 @@ class SearchStats:
         :class:`~repro.registration.search.NeighborSearcher`; with the
         batch query layer a whole pipeline stage is one batch, so
         ``queries / batches`` is the amortization factor.
+    ``reused_queries`` / ``cache_hits``
+        Nested-radius reuse accounting: queries answered by filtering a
+        cached larger-radius result instead of traversing the index
+        (``reused_queries``, always ``<= queries``; such queries charge
+        no ``nodes_visited``), and the number of batched calls served
+        that way (``cache_hits``).  ``queries - reused_queries`` is the
+        fresh-search count, so DSE/accelerator work models can tell
+        executed traversals from derived results.
     """
 
     nodes_visited: int = 0
@@ -46,6 +54,8 @@ class SearchStats:
     queries: int = 0
     results_returned: int = 0
     batches: int = 0
+    reused_queries: int = 0
+    cache_hits: int = 0
 
     def merge(self, other: "SearchStats") -> None:
         """Fold another accumulator into this one."""
@@ -56,6 +66,8 @@ class SearchStats:
         self.queries += other.queries
         self.results_returned += other.results_returned
         self.batches += other.batches
+        self.reused_queries += other.reused_queries
+        self.cache_hits += other.cache_hits
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -66,6 +78,8 @@ class SearchStats:
         self.queries = 0
         self.results_returned = 0
         self.batches = 0
+        self.reused_queries = 0
+        self.cache_hits = 0
 
     @property
     def nodes_per_query(self) -> float:
@@ -80,10 +94,15 @@ class SearchStats:
         return self.nodes_visited + self.leader_checks
 
     def __repr__(self) -> str:
+        reused = (
+            f", reused_queries={self.reused_queries}"
+            if self.reused_queries
+            else ""
+        )
         return (
             f"SearchStats(queries={self.queries}, "
             f"nodes_visited={self.nodes_visited}, "
             f"traversal_steps={self.traversal_steps}, "
             f"pruned_subtrees={self.pruned_subtrees}, "
-            f"leader_checks={self.leader_checks})"
+            f"leader_checks={self.leader_checks}{reused})"
         )

@@ -13,6 +13,28 @@ with iterative explicit-stack traversal, and instrumented: every search
 accepts an optional :class:`~repro.kdtree.stats.SearchStats` accumulator.
 Pruning uses the incremental per-axis bound (as in FLANN/scipy) so node
 visit counts are representative of a production implementation.
+
+Batch queries
+-------------
+:meth:`KDTree.nn_batch`, :meth:`KDTree.knn_batch`, and
+:meth:`KDTree.radius_batch` run a *level-synchronous frontier sweep*:
+the per-query traversal stacks are fused into flat ``(node, query)``
+pair arrays advanced one level per round with NumPy masks, pruned
+against each query's running best bound exactly as the scalar recursion
+prunes.  Nearest-neighbor and kNN batches first descend every query
+along its near path (no backtracking) to seed tight bounds — the
+vectorized analogue of the depth-first dive the scalar search performs
+before it backtracks.  Results are bit-identical to the scalar methods:
+distances accumulate per coordinate in the same order on both paths,
+ties resolve to the lowest point index (nn/knn take the lexicographic
+``(distance, index)`` minimum) and radius results come back in
+ascending index order.  Radius work counters are exactly the scalar
+loop's (radius pruning is query-history-independent); nn/knn counters
+reflect the frontier schedule actually executed and may differ slightly
+from a scalar loop's.  Passing ``sequential=True`` pins a batch to the
+per-query loop (the fallback kept for trace-style debugging and for
+pinning scalar/batch parity in tests); validation is hoisted to one
+pass per batch on both paths.
 """
 
 from __future__ import annotations
@@ -26,6 +48,24 @@ from repro.kdtree.stats import SearchStats
 __all__ = ["KDTree"]
 
 _SPLIT_RULES = ("widest", "cyclic")
+
+# Sentinel index paired with +inf distances in unfilled kNN slots while
+# merging; never visible to callers (k is clamped to n).
+_BIG = np.iinfo(np.int64).max
+
+
+def _point_sq_dist(query: np.ndarray, point: np.ndarray) -> float:
+    """Squared distance accumulated coordinate by coordinate.
+
+    The left-to-right accumulation order matches the per-coordinate
+    ufunc accumulation of the batch frontier (:meth:`KDTree._sq_dists`),
+    so scalar and batched traversals see bit-identical bounds and
+    candidate distances.
+    """
+    d_sq = 0.0
+    for t in query - point:
+        d_sq += t * t
+    return float(d_sq)
 
 
 class KDTree:
@@ -174,11 +214,28 @@ class KDTree:
             raise ValueError("query contains NaN or infinity")
         return query
 
+    def _check_queries(self, queries: np.ndarray) -> np.ndarray:
+        """One validation pass for a whole batch (hoisted out of the
+        per-query loop; the scalar methods keep their own check)."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.ndim != 2 or queries.shape[1] != self.ndim:
+            raise ValueError(
+                f"queries have shape {queries.shape}, tree has dimension "
+                f"{self.ndim}"
+            )
+        if not np.all(np.isfinite(queries)):
+            raise ValueError("queries contain NaN or infinity")
+        return queries
+
     def nn(
         self, query: np.ndarray, stats: SearchStats | None = None
     ) -> tuple[int, float]:
         """Nearest neighbor: (point index, distance)."""
-        query = self._check_query(query)
+        return self._nn_impl(self._check_query(query), stats)
+
+    def _nn_impl(
+        self, query: np.ndarray, stats: SearchStats | None
+    ) -> tuple[int, float]:
         points = self._points
         best_sq = np.inf
         best_idx = -1
@@ -192,13 +249,14 @@ class KDTree:
             if bound_sq > best_sq:
                 pruned += 1
                 continue
-            pidx = self._point_index[node]
-            diff = query - points[pidx]
-            d_sq = float(diff @ diff)
+            pidx = int(self._point_index[node])
+            d_sq = _point_sq_dist(query, points[pidx])
             visits += 1
-            if d_sq < best_sq:
+            # Deterministic tie rule shared with the batch frontier:
+            # the global (distance, index) lexicographic minimum.
+            if d_sq < best_sq or (d_sq == best_sq and pidx < best_idx):
                 best_sq = d_sq
-                best_idx = int(pidx)
+                best_idx = pidx
             left_child = self._left[node]
             right_child = self._right[node]
             if left_child < 0 and right_child < 0:
@@ -235,14 +293,28 @@ class KDTree:
         query = self._check_query(query)
         if k <= 0:
             raise ValueError("k must be positive")
-        k = min(k, self.n)
+        return self._knn_impl(query, min(k, self.n), stats)
+
+    def _knn_impl(
+        self, query: np.ndarray, k: int, stats: SearchStats | None
+    ) -> tuple[np.ndarray, np.ndarray]:
         points = self._points
-        # Max-heap of (-sq_distance, point index), capped at k entries.
+        # Max-heap over (distance, index) via negation: heap[0] is the
+        # lexicographically largest (d_sq, idx) of the kept k, i.e. the
+        # entry the next better candidate evicts.
         heap: list[tuple[float, int]] = []
         visits = pops = pruned = 0
 
         def bound() -> float:
             return -heap[0][0] if len(heap) == k else np.inf
+
+        def offer(idx: int, d_sq: float) -> None:
+            if len(heap) < k:
+                heapq.heappush(heap, (-d_sq, -idx))
+            else:
+                worst_sq, worst_idx = -heap[0][0], -heap[0][1]
+                if d_sq < worst_sq or (d_sq == worst_sq and idx < worst_idx):
+                    heapq.heapreplace(heap, (-d_sq, -idx))
 
         contrib = np.zeros(self.ndim)
         stack: list[tuple[int, float, np.ndarray]] = [(0, 0.0, contrib)]
@@ -252,14 +324,10 @@ class KDTree:
             if bound_sq > bound():
                 pruned += 1
                 continue
-            pidx = self._point_index[node]
-            diff = query - points[pidx]
-            d_sq = float(diff @ diff)
+            pidx = int(self._point_index[node])
+            d_sq = _point_sq_dist(query, points[pidx])
             visits += 1
-            if len(heap) < k:
-                heapq.heappush(heap, (-d_sq, int(pidx)))
-            elif d_sq < -heap[0][0]:
-                heapq.heapreplace(heap, (-d_sq, int(pidx)))
+            offer(pidx, d_sq)
             left_child = self._left[node]
             right_child = self._right[node]
             if left_child < 0 and right_child < 0:
@@ -281,7 +349,7 @@ class KDTree:
             if near >= 0:
                 stack.append((int(near), bound_sq, contrib))
 
-        entries = sorted(((-neg_sq, idx) for neg_sq, idx in heap))
+        entries = sorted((-neg_sq, -neg_idx) for neg_sq, neg_idx in heap)
         indices = np.array([idx for _, idx in entries], dtype=np.int64)
         dists = np.sqrt(np.array([sq for sq, _ in entries]))
         if stats is not None:
@@ -299,10 +367,24 @@ class KDTree:
         stats: SearchStats | None = None,
         sort: bool = False,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """All neighbors within distance ``r``: (indices, distances)."""
+        """All neighbors within distance ``r``: (indices, distances).
+
+        Results come back in ascending index order (ascending distance
+        with ``sort=True``), the deterministic order shared with the
+        batch frontier.
+        """
         query = self._check_query(query)
         if r < 0:
             raise ValueError("radius must be non-negative")
+        return self._radius_impl(query, r, stats, sort)
+
+    def _radius_impl(
+        self,
+        query: np.ndarray,
+        r: float,
+        stats: SearchStats | None,
+        sort: bool,
+    ) -> tuple[np.ndarray, np.ndarray]:
         points = self._points
         r_sq = r * r
         found: list[tuple[int, float]] = []
@@ -316,12 +398,11 @@ class KDTree:
             if bound_sq > r_sq:
                 pruned += 1
                 continue
-            pidx = self._point_index[node]
-            diff = query - points[pidx]
-            d_sq = float(diff @ diff)
+            pidx = int(self._point_index[node])
+            d_sq = _point_sq_dist(query, points[pidx])
             visits += 1
             if d_sq <= r_sq:
-                found.append((int(pidx), d_sq))
+                found.append((pidx, d_sq))
             left_child = self._left[node]
             right_child = self._right[node]
             if left_child < 0 and right_child < 0:
@@ -352,44 +433,57 @@ class KDTree:
         if not found:
             return np.empty(0, dtype=np.int64), np.empty(0)
         indices = np.array([idx for idx, _ in found], dtype=np.int64)
-        dists = np.sqrt(np.array([sq for _, sq in found]))
+        sq_found = np.array([sq for _, sq in found])
+        # Canonical ascending-index order, shared with the batch path
+        # (which collects hits round by round, not in DFS order).
+        order = np.argsort(indices, kind="stable")
+        indices = indices[order]
+        dists = np.sqrt(sq_found[order])
         if sort:
             order = np.argsort(dists, kind="stable")
             return indices[order], dists[order]
         return indices, dists
 
     # ------------------------------------------------------------------
-    # Batch queries.  The canonical tree's pruned traversal is inherently
-    # sequential (the bottleneck motivating the paper's two-stage
-    # structure), so its batch entry points are tight loops over the
-    # scalar searches — trivially bit-identical to per-query calls, and
-    # still amortizing per-batch instrumentation in the callers.
+    # Batch queries: the level-synchronous frontier sweep (see module
+    # docstring).  ``sequential=True`` pins the per-query loop fallback.
     # ------------------------------------------------------------------
 
     def nn_batch(
-        self, queries: np.ndarray, stats: SearchStats | None = None
+        self,
+        queries: np.ndarray,
+        stats: SearchStats | None = None,
+        sequential: bool = False,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Nearest neighbor for every row of ``queries``."""
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        indices = np.empty(len(queries), dtype=np.int64)
-        dists = np.empty(len(queries))
-        for i, query in enumerate(queries):
-            indices[i], dists[i] = self.nn(query, stats)
-        return indices, dists
+        queries = self._check_queries(queries)
+        if sequential:
+            indices = np.empty(len(queries), dtype=np.int64)
+            dists = np.empty(len(queries))
+            for i, query in enumerate(queries):
+                indices[i], dists[i] = self._nn_impl(query, stats)
+            return indices, dists
+        return self._nn_batch_fast(queries, stats)
 
     def knn_batch(
-        self, queries: np.ndarray, k: int, stats: SearchStats | None = None
+        self,
+        queries: np.ndarray,
+        k: int,
+        stats: SearchStats | None = None,
+        sequential: bool = False,
     ) -> tuple[np.ndarray, np.ndarray]:
         """kNN for every row of ``queries``: (Q, min(k, n)) arrays."""
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        queries = self._check_queries(queries)
         if k <= 0:
             raise ValueError("k must be positive")
         k = min(k, self.n)
-        indices = np.empty((len(queries), k), dtype=np.int64)
-        dists = np.empty((len(queries), k))
-        for i, query in enumerate(queries):
-            indices[i], dists[i] = self.knn(query, k, stats)
-        return indices, dists
+        if sequential:
+            indices = np.empty((len(queries), k), dtype=np.int64)
+            dists = np.empty((len(queries), k))
+            for i, query in enumerate(queries):
+                indices[i], dists[i] = self._knn_impl(query, k, stats)
+            return indices, dists
+        return self._knn_batch_fast(queries, k, stats)
 
     def radius_batch(
         self,
@@ -397,12 +491,349 @@ class KDTree:
         r: float,
         stats: SearchStats | None = None,
         sort: bool = False,
+        sequential: bool = False,
     ) -> tuple[list[np.ndarray], list[np.ndarray]]:
         """Radius search for every row of ``queries`` (ragged lists)."""
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        all_indices, all_dists = [], []
-        for query in queries:
-            indices, dists = self.radius(query, r, stats, sort=sort)
-            all_indices.append(indices)
-            all_dists.append(dists)
+        queries = self._check_queries(queries)
+        if r < 0:
+            raise ValueError("radius must be non-negative")
+        if sequential:
+            all_indices, all_dists = [], []
+            for query in queries:
+                indices, dists = self._radius_impl(query, r, stats, sort)
+                all_indices.append(indices)
+                all_dists.append(dists)
+            return all_indices, all_dists
+        return self._radius_batch_fast(queries, r, stats, sort)
+
+    # ------------------------------------------------------------------
+    # Frontier machinery
+    # ------------------------------------------------------------------
+
+    def _sq_dists(self, query_rows: np.ndarray, node_pts: np.ndarray):
+        """Per-coordinate squared distances (same accumulation order as
+        :func:`_point_sq_dist`, hence bit-identical to the scalar path)."""
+        t = query_rows[:, 0] - node_pts[:, 0]
+        d_sq = t * t
+        for j in range(1, self.ndim):
+            t = query_rows[:, j] - node_pts[:, j]
+            d_sq += t * t
+        return d_sq
+
+    def _descend(self, queries: np.ndarray):
+        """Pure near-path descent of every query (no backtracking).
+
+        Yields ``(query rows, node ids, squared distances)`` per level —
+        the candidates the scalar DFS would evaluate on its first dive.
+        Used to seed tight nn/knn bounds before the frontier sweep; the
+        frontier re-visits (and charges) these nodes, so the descent
+        itself is uncharged scheduling work.
+        """
+        node = np.zeros(len(queries), dtype=np.int64)
+        alive = np.arange(len(queries), dtype=np.int64)
+        while len(alive):
+            current = node[alive]
+            pidx = self._point_index[current]
+            d_sq = self._sq_dists(queries[alive], self._points[pidx])
+            yield alive, pidx, d_sq
+            dim = self._split_dim[current]
+            delta = queries[alive, dim] - self._split_value[current]
+            child = np.where(delta < 0, self._left[current], self._right[current])
+            descend = child >= 0
+            node[alive[descend]] = child[descend]
+            alive = alive[descend]
+
+    def _nn_batch_fast(
+        self, queries: np.ndarray, stats: SearchStats | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        n_queries, ndim = queries.shape
+        best_sq = np.full(n_queries, np.inf)
+        best_idx = np.full(n_queries, -1, dtype=np.int64)
+        if n_queries == 0:
+            return best_idx, np.full(n_queries, np.inf)
+        visits = pops = pruned = 0
+
+        def lex_update(q, d_sq, pidx):
+            """Fold (query, distance, index) candidates into the bests by
+            the (distance, index) lexicographic rule."""
+            better = (d_sq < best_sq[q]) | (
+                (d_sq == best_sq[q]) & (pidx < best_idx[q])
+            )
+            if not np.any(better):
+                return
+            bq, bsq, bidx = q[better], d_sq[better], pidx[better]
+            # A query can meet several nodes in one round; reduce its
+            # candidates to the lexicographic minimum before updating.
+            sel = np.lexsort((bidx, bsq, bq))
+            bq, bsq, bidx = bq[sel], bsq[sel], bidx[sel]
+            first = np.r_[True, bq[1:] != bq[:-1]]
+            cq, csq, cidx = bq[first], bsq[first], bidx[first]
+            win = (csq < best_sq[cq]) | (
+                (csq == best_sq[cq]) & (cidx < best_idx[cq])
+            )
+            best_sq[cq[win]] = csq[win]
+            best_idx[cq[win]] = cidx[win]
+
+        # Phase 1: seed bounds from the near-path descent.
+        for rows, pidx, d_sq in self._descend(queries):
+            lex_update(rows, d_sq, pidx)
+
+        # Phase 2: the frontier sweep, pruned against the running bests
+        # exactly as the scalar recursion (push-time and pop-time checks).
+        refs = np.zeros(n_queries, dtype=np.int64)
+        qidx = np.arange(n_queries, dtype=np.int64)
+        bound = np.zeros(n_queries)
+        contrib = np.zeros((n_queries, ndim))
+        while len(refs):
+            pops += len(refs)
+            alive = bound <= best_sq[qidx]
+            pruned += int(np.count_nonzero(~alive))
+            refs_i = refs[alive]
+            q_i = qidx[alive]
+            b_i = bound[alive]
+            c_i = contrib[alive]
+            if len(refs_i) == 0:
+                break
+            visits += len(refs_i)
+            pidx = self._point_index[refs_i]
+            d_sq = self._sq_dists(queries[q_i], self._points[pidx])
+            lex_update(q_i, d_sq, pidx)
+            dim = self._split_dim[refs_i]
+            delta = queries[q_i, dim] - self._split_value[refs_i]
+            left = self._left[refs_i]
+            right = self._right[refs_i]
+            goes_left = delta < 0
+            near = np.where(goes_left, left, right)
+            far = np.where(goes_left, right, left)
+            dd = delta * delta
+            span = np.arange(len(refs_i))
+            far_bound = b_i - c_i[span, dim] + dd
+            far_contrib = c_i.copy()
+            far_contrib[span, dim] = dd
+            admit_far = (far >= 0) & (far_bound <= best_sq[q_i])
+            pruned += int(np.count_nonzero((far >= 0) & ~admit_far))
+            has_near = near >= 0
+            refs = np.concatenate([far[admit_far], near[has_near]])
+            qidx = np.concatenate([q_i[admit_far], q_i[has_near]])
+            bound = np.concatenate([far_bound[admit_far], b_i[has_near]])
+            contrib = np.concatenate([far_contrib[admit_far], c_i[has_near]])
+
+        if stats is not None:
+            stats.nodes_visited += visits
+            stats.traversal_steps += pops
+            stats.pruned_subtrees += pruned
+            stats.queries += n_queries
+            stats.results_returned += n_queries
+        return best_idx, np.sqrt(best_sq)
+
+    def _merge_topk(
+        self,
+        best_sq: np.ndarray,
+        best_idx: np.ndarray,
+        cq: np.ndarray,
+        csq: np.ndarray,
+        cidx: np.ndarray,
+        k: int,
+    ) -> None:
+        """Merge flat (query, sq, idx) candidates into (Q, k) bests kept
+        sorted by the (distance, index) lexicographic rule.
+
+        Candidates may duplicate entries already in the bests (the
+        frontier re-visits the seeded near path); duplicates carry
+        identical (sq, idx) keys, land adjacent after the row sort, and
+        are compacted out before truncation to k.
+        """
+        order = np.lexsort((cidx, csq, cq))
+        cq, csq, cidx = cq[order], csq[order], cidx[order]
+        uq, starts = np.unique(cq, return_index=True)
+        counts = np.diff(np.r_[starts, len(cq)])
+        m = int(counts.max())
+        gid = np.repeat(np.arange(len(uq)), counts)
+        pos = np.arange(len(cq)) - np.repeat(starts, counts)
+        cand_sq = np.full((len(uq), m), np.inf)
+        cand_idx = np.full((len(uq), m), _BIG, dtype=np.int64)
+        cand_sq[gid, pos] = csq
+        cand_idx[gid, pos] = cidx
+        merged_sq = np.concatenate([best_sq[uq], cand_sq], axis=1)
+        merged_idx = np.concatenate([best_idx[uq], cand_idx], axis=1)
+        sel = np.lexsort((merged_idx, merged_sq))
+        merged_sq = np.take_along_axis(merged_sq, sel, axis=1)
+        merged_idx = np.take_along_axis(merged_idx, sel, axis=1)
+        dup = (merged_sq[:, 1:] == merged_sq[:, :-1]) & (
+            merged_idx[:, 1:] == merged_idx[:, :-1]
+        )
+        if np.any(dup):
+            merged_sq[:, 1:][dup] = np.inf
+            merged_idx[:, 1:][dup] = _BIG
+            sel = np.lexsort((merged_idx, merged_sq))
+            merged_sq = np.take_along_axis(merged_sq, sel, axis=1)
+            merged_idx = np.take_along_axis(merged_idx, sel, axis=1)
+        best_sq[uq] = merged_sq[:, :k]
+        best_idx[uq] = merged_idx[:, :k]
+
+    def _knn_batch_fast(
+        self, queries: np.ndarray, k: int, stats: SearchStats | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        n_queries, ndim = queries.shape
+        best_sq = np.full((n_queries, k), np.inf)
+        best_idx = np.full((n_queries, k), _BIG, dtype=np.int64)
+        if n_queries == 0:
+            return best_idx, best_sq
+        visits = pops = pruned = 0
+
+        # Phase 1: seed the per-query top-k from the near-path descent
+        # (one merge over all path candidates).
+        path_q: list[np.ndarray] = []
+        path_sq: list[np.ndarray] = []
+        path_idx: list[np.ndarray] = []
+        for rows, pidx, d_sq in self._descend(queries):
+            path_q.append(rows)
+            path_idx.append(pidx)
+            path_sq.append(d_sq)
+        self._merge_topk(
+            best_sq,
+            best_idx,
+            np.concatenate(path_q),
+            np.concatenate(path_sq),
+            np.concatenate(path_idx),
+            k,
+        )
+
+        # Phase 2: frontier sweep pruned against each query's kth-best.
+        refs = np.zeros(n_queries, dtype=np.int64)
+        qidx = np.arange(n_queries, dtype=np.int64)
+        bound = np.zeros(n_queries)
+        contrib = np.zeros((n_queries, ndim))
+        while len(refs):
+            pops += len(refs)
+            alive = bound <= best_sq[qidx, k - 1]
+            pruned += int(np.count_nonzero(~alive))
+            refs_i = refs[alive]
+            q_i = qidx[alive]
+            b_i = bound[alive]
+            c_i = contrib[alive]
+            if len(refs_i) == 0:
+                break
+            visits += len(refs_i)
+            pidx = self._point_index[refs_i]
+            d_sq = self._sq_dists(queries[q_i], self._points[pidx])
+            cand = d_sq <= best_sq[q_i, k - 1]
+            if np.any(cand):
+                self._merge_topk(
+                    best_sq, best_idx, q_i[cand], d_sq[cand], pidx[cand], k
+                )
+            dim = self._split_dim[refs_i]
+            delta = queries[q_i, dim] - self._split_value[refs_i]
+            left = self._left[refs_i]
+            right = self._right[refs_i]
+            goes_left = delta < 0
+            near = np.where(goes_left, left, right)
+            far = np.where(goes_left, right, left)
+            dd = delta * delta
+            span = np.arange(len(refs_i))
+            far_bound = b_i - c_i[span, dim] + dd
+            far_contrib = c_i.copy()
+            far_contrib[span, dim] = dd
+            admit_far = (far >= 0) & (far_bound <= best_sq[q_i, k - 1])
+            pruned += int(np.count_nonzero((far >= 0) & ~admit_far))
+            has_near = near >= 0
+            refs = np.concatenate([far[admit_far], near[has_near]])
+            qidx = np.concatenate([q_i[admit_far], q_i[has_near]])
+            bound = np.concatenate([far_bound[admit_far], b_i[has_near]])
+            contrib = np.concatenate([far_contrib[admit_far], c_i[has_near]])
+
+        if stats is not None:
+            stats.nodes_visited += visits
+            stats.traversal_steps += pops
+            stats.pruned_subtrees += pruned
+            stats.queries += n_queries
+            stats.results_returned += best_idx.size
+        return best_idx, np.sqrt(best_sq)
+
+    def _radius_batch_fast(
+        self,
+        queries: np.ndarray,
+        r: float,
+        stats: SearchStats | None,
+        sort: bool,
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        n_queries, ndim = queries.shape
+        r_sq = r * r
+        hit_q: list[np.ndarray] = []
+        hit_idx: list[np.ndarray] = []
+        hit_sq: list[np.ndarray] = []
+        visits = pruned = 0
+
+        # The radius bound never tightens, so (unlike nn) pushes are
+        # pre-filtered and every frontier pair is evaluated — the sweep
+        # visits exactly the (node, query) pairs of the scalar loop and
+        # the work counters match it exactly.
+        if n_queries:
+            refs = np.zeros(n_queries, dtype=np.int64)
+            qidx = np.arange(n_queries, dtype=np.int64)
+            bound = np.zeros(n_queries)
+            contrib = np.zeros((n_queries, ndim))
+            while len(refs):
+                visits += len(refs)
+                pidx = self._point_index[refs]
+                d_sq = self._sq_dists(queries[qidx], self._points[pidx])
+                hit = d_sq <= r_sq
+                if np.any(hit):
+                    hit_q.append(qidx[hit])
+                    hit_idx.append(pidx[hit])
+                    hit_sq.append(d_sq[hit])
+                dim = self._split_dim[refs]
+                delta = queries[qidx, dim] - self._split_value[refs]
+                left = self._left[refs]
+                right = self._right[refs]
+                goes_left = delta < 0
+                near = np.where(goes_left, left, right)
+                far = np.where(goes_left, right, left)
+                dd = delta * delta
+                span = np.arange(len(refs))
+                far_bound = bound - contrib[span, dim] + dd
+                far_contrib = contrib.copy()
+                far_contrib[span, dim] = dd
+                admit_far = (far >= 0) & (far_bound <= r_sq)
+                pruned += int(np.count_nonzero((far >= 0) & ~admit_far))
+                has_near = near >= 0
+                refs_new = np.concatenate([far[admit_far], near[has_near]])
+                qidx_new = np.concatenate([qidx[admit_far], qidx[has_near]])
+                bound = np.concatenate([far_bound[admit_far], bound[has_near]])
+                contrib = np.concatenate(
+                    [far_contrib[admit_far], contrib[has_near]]
+                )
+                refs, qidx = refs_new, qidx_new
+
+        if hit_q:
+            fq = np.concatenate(hit_q)
+            fidx = np.concatenate(hit_idx)
+            fsq = np.concatenate(hit_sq)
+            order = np.lexsort((fidx, fq))
+            fq, fidx = fq[order], fidx[order]
+            fdist = np.sqrt(fsq[order])
+            counts = np.bincount(fq, minlength=n_queries)
+        else:
+            fidx = np.empty(0, dtype=np.int64)
+            fdist = np.empty(0)
+            counts = np.zeros(n_queries, dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+
+        all_indices: list[np.ndarray] = []
+        all_dists: list[np.ndarray] = []
+        for i in range(n_queries):
+            idx_row = fidx[offsets[i] : offsets[i + 1]]
+            dist_row = fdist[offsets[i] : offsets[i + 1]]
+            if sort and len(idx_row):
+                o = np.argsort(dist_row, kind="stable")
+                idx_row, dist_row = idx_row[o], dist_row[o]
+            all_indices.append(idx_row)
+            all_dists.append(dist_row)
+
+        if stats is not None:
+            stats.nodes_visited += visits
+            stats.traversal_steps += visits
+            stats.pruned_subtrees += pruned
+            stats.queries += n_queries
+            stats.results_returned += len(fidx)
         return all_indices, all_dists

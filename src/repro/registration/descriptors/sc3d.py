@@ -62,7 +62,7 @@ def sc3d_descriptors(
     # One batched support search, flattened to CSR with self-matches
     # and sub-min_radius neighbors dropped.
     all_neighbors, all_dists = searcher.radius_batch(
-        points[keypoint_indices], radius
+        points[keypoint_indices], radius, self_indices=keypoint_indices
     )
     ragged = RaggedNeighborhoods.from_lists(all_neighbors, all_dists)
     ragged = ragged.mask(
@@ -79,7 +79,7 @@ def sc3d_descriptors(
     density = np.ones(len(points))
     if len(unique_neighbors):
         close_lists, _ = searcher.radius_batch(
-            points[unique_neighbors], min_radius * 2
+            points[unique_neighbors], min_radius * 2, self_indices=unique_neighbors
         )
         density[unique_neighbors] = np.maximum(
             np.fromiter(

@@ -134,7 +134,7 @@ def shot_descriptors(
     # One batched radius search, flattened to CSR (self-matches
     # dropped); LRFs, binning, and histograms are batched kernels.
     all_neighbors, all_dists = searcher.radius_batch(
-        points[keypoint_indices], radius
+        points[keypoint_indices], radius, self_indices=keypoint_indices
     )
     ragged = RaggedNeighborhoods.from_lists(all_neighbors, all_dists)
     ragged = ragged.mask(ragged.indices != keypoint_indices[ragged.segment_ids])

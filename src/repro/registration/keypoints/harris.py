@@ -62,9 +62,13 @@ def harris_keypoints(
     points = cloud.points
     normals = cloud.normals
 
-    # One batched radius search, then the normal-covariance structure
-    # tensors of every neighborhood assembled and decomposed at once.
-    all_neighbors, _ = searcher.radius_batch(points, radius)
+    # One batched radius search (nested-radius reusable: the queries
+    # are the indexed points themselves), then the normal-covariance
+    # structure tensors of every neighborhood assembled and decomposed
+    # at once.
+    all_neighbors, _ = searcher.radius_batch(
+        points, radius, self_indices=np.arange(len(points))
+    )
     ragged = RaggedNeighborhoods.from_lists(all_neighbors)
     valid = ragged.counts >= 5
 

@@ -60,7 +60,9 @@ def sift_keypoints(
     # flattened to CSR, each scale's smoothing pass is two bincounts.
     smoothed = np.empty((len(scales), n))
     max_radius = 2.0 * scales[-1]
-    cache_idx, cache_dist = searcher.radius_batch(points, max_radius)
+    cache_idx, cache_dist = searcher.radius_batch(
+        points, max_radius, self_indices=np.arange(n)
+    )
     ragged = RaggedNeighborhoods.from_lists(cache_idx, cache_dist)
     flat_idx, flat_dist = ragged.indices, ragged.distances
     segment_ids = ragged.segment_ids

@@ -82,7 +82,11 @@ def estimate_normals(
     # One batched radius search for the whole stage (the heaviest search
     # consumer in Fig. 4 issues a single call instead of n), flattened
     # to CSR so every aggregation below is one dense batched kernel.
-    all_neighbors, _ = searcher.radius_batch(points, config.radius)
+    # The queries are the indexed points themselves (``self_indices``),
+    # making this the filling/reusing call of the nested-radius cache.
+    all_neighbors, _ = searcher.radius_batch(
+        points, config.radius, self_indices=np.arange(len(points))
+    )
     ragged = RaggedNeighborhoods.from_lists(all_neighbors)
     valid = ragged.counts >= config.min_neighbors
 

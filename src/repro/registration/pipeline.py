@@ -52,6 +52,7 @@ from repro.registration.normals import NormalEstimationConfig, estimate_normals
 from repro.registration.rejection import RejectionConfig, reject_correspondences
 from repro.registration.search import (
     NeighborSearcher,
+    RadiusReuseCache,
     SearchConfig,
     build_index,
     exact_index,
@@ -155,6 +156,11 @@ class PipelineConfig:
             _canonical(self.descriptor),
             _canonical(self.search),
             frontend_injectors,
+            # The nested-radius reuse plan shapes which searches
+            # preprocess actually executes (and therefore its stats):
+            # configs that differ only in e.g. skip_initial_estimation
+            # plan differently and must not share front-end artifacts.
+            _planned_reuse_radius(self),
         )
 
 
@@ -211,6 +217,43 @@ _FRAME_STAGES = ("Normal Estimation",)
 _FEATURE_STAGES = ("Key-point Detection", "Descriptor Calculation")
 
 
+def _planned_reuse_radius(config: PipelineConfig) -> float | None:
+    """The largest radius any preprocess stage will self-query, or None.
+
+    Drives the nested-radius reuse cache: the first full-cloud radius
+    search is inflated to this radius and every nested stage request is
+    derived from it.  Computed from the *config* alone — never from
+    ``with_features`` — so an eager preprocess and a lazy
+    ``preprocess(with_features=False)`` + ``ensure_features`` charge
+    identical stats (the two paths run identical searches).  Returns
+    ``None`` when only one radius is ever planned
+    (``skip_initial_estimation``), where caching could never pay.
+
+    Each branch mirrors its stage's radius arithmetic expression for
+    expression (e.g. SIFT's scale-ladder maximum), so the plan is never
+    smaller than what the stage actually asks for; a stage asking for
+    more than the plan simply falls back to a fresh search.
+    """
+    if config.skip_initial_estimation:
+        return None
+    radii = [config.normals.radius]
+    params = config.keypoints.params
+    if config.keypoints.method == "harris":
+        radii.append(params.get("radius", 1.0))
+    elif config.keypoints.method == "sift":
+        min_scale = params.get("min_scale", 0.5)
+        n_octaves = params.get("n_octaves", 3)
+        per_octave = params.get("scales_per_octave", 2)
+        max_scale = (
+            min_scale
+            * (2.0 ** (n_octaves - 1))
+            * (2.0 ** (per_octave / per_octave))
+        )
+        radii.append(2.0 * max_scale)
+    radii.append(config.descriptor.radius)
+    return max(radii)
+
+
 @dataclass(frozen=True)
 class FrameState:
     """Immutable per-frame artifacts produced by :meth:`Pipeline.preprocess`.
@@ -239,6 +282,12 @@ class FrameState:
     keypoints: np.ndarray | None = None
     descriptors: np.ndarray | None = None
     range_image: RangeImage | None = None
+    # Nested-radius reuse cache over the exact index; immutable once
+    # filled (so repeated preprocessing charges identical stats) and
+    # dropped from the state ``ensure_features`` returns — the feature
+    # stages are its last consumers, and featured states are what
+    # streaming drivers retain.
+    reuse: RadiusReuseCache | None = None
 
     def __len__(self) -> int:
         return len(self.cloud)
@@ -269,8 +318,11 @@ class FrameState:
             index = exact_index(index)
         elif fresh_approx and isinstance(index, ApproximateSearch):
             index = ApproximateSearch(index.tree, self.search_config.approx)
+        # The reuse cache only ever serves its own (exact) index with no
+        # injector in the way; NeighborSearcher re-checks the identity.
+        reuse = None if injector is not None else self.reuse
         return NeighborSearcher(
-            index, stats, 0.0, profiler=profiler, injector=injector
+            index, stats, 0.0, profiler=profiler, injector=injector, reuse=reuse
         )
 
 
@@ -321,11 +373,18 @@ class Pipeline:
         # stage view derived from this state.
         with profiler.stage("Normal Estimation"):
             index, _ = build_index(cloud.points, config.search, profiler)
+            planned = _planned_reuse_radius(config)
+            reuse = (
+                RadiusReuseCache(exact_index(index), planned)
+                if planned is not None
+                else None
+            )
             state = FrameState(
                 cloud=cloud,
                 index=index,
                 search_config=config.search,
                 stats=stats,
+                reuse=reuse,
             )
             cloud = estimate_normals(
                 cloud,
@@ -388,7 +447,14 @@ class Pipeline:
                 keypoints,
                 config.descriptor,
             )
-        return replace(working, keypoints=keypoints, descriptors=descriptors)
+        # The descriptor stage was the reuse cache's last consumer; the
+        # featured state (what streaming drivers keep) drops it so the
+        # cached CSR doesn't outlive its usefulness.  The bare input
+        # state keeps its reference — a second ensure_features on it
+        # reuses identically and charges identical stats.
+        return replace(
+            working, keypoints=keypoints, descriptors=descriptors, reuse=None
+        )
 
     # ------------------------------------------------------------------
     # Phase B: pairwise matching over two FrameStates.

@@ -2,10 +2,10 @@
 
 Every shaded stage in paper Fig. 2 (Normal Estimation, Descriptor
 Calculation, KPCE, RPCE) funnels its neighbor queries through this
-module.  A :class:`NeighborSearcher` wraps one of four backends —
+module.  A :class:`NeighborSearcher` wraps one of five backends —
 canonical KD-tree, two-stage KD-tree, the approximate
-leaders/followers search, or an exhaustive brute-force scan — behind
-one interface, and transparently:
+leaders/followers search, an exhaustive brute-force scan, or the flat
+voxel-hash grid — behind one interface, and transparently:
 
 * accumulates :class:`~repro.kdtree.stats.SearchStats` (work counts for
   the accelerator model and Fig. 6);
@@ -33,6 +33,29 @@ counters (node visits, pruning) reflect the schedule actually executed
 so for the two-stage NN frontier (see :mod:`repro.core.twostage`).
 Batched *results* are bit-identical to issuing the scalar methods row
 by row.
+
+Nested-radius reuse
+-------------------
+Preprocess stages query the *same* per-frame index at nested radii
+over the frame's own points: normal estimation at ``normals.radius``,
+Harris/SIFT keypoint support, and the descriptor supports are all row
+subsets of one conceptual all-points radius search at the largest
+planned radius.  A :class:`RadiusReuseCache` (installed by
+``Pipeline.preprocess``; plain searchers carry none and behave exactly
+as before) runs that search once — the first eligible full-cloud
+``radius_batch`` is transparently inflated to the planned maximum
+radius and its CSR result retained — and serves every later nested
+request by row-select plus exact squared-distance re-filter
+(:func:`repro.core.ragged.csr_radius_select`), bit-identical to a
+fresh query.  Accounting stays honest: the filling stage is charged
+the full inflated search it executed (its ``results_returned`` counts
+the retained larger-radius results), while served calls charge
+``queries``/``reused_queries``/``cache_hits`` and their filtered
+result counts but no traversal work.  Callers opt in per call by
+passing ``self_indices`` — the index rows their query points are —
+and the cache is bypassed whenever an injector is active, the
+effective index is not the cache's own (e.g. the stateful approximate
+wrapper), or the radius exceeds the cached one.
 """
 
 from __future__ import annotations
@@ -43,6 +66,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.approx import ApproximateSearch, ApproximateSearchConfig
+from repro.core.gridhash import GridHashConfig, GridHashIndex
+from repro.core.ragged import csr_radius_select
 from repro.core.twostage import TwoStageKDTree
 from repro.kdtree import bruteforce
 from repro.kdtree.stats import SearchStats
@@ -52,12 +77,13 @@ from repro.profiling.timer import StageProfiler
 __all__ = [
     "SearchConfig",
     "NeighborSearcher",
+    "RadiusReuseCache",
     "build_searcher",
     "build_index",
     "exact_index",
 ]
 
-_BACKENDS = ("canonical", "twostage", "approximate", "bruteforce")
+_BACKENDS = ("canonical", "twostage", "approximate", "bruteforce", "gridhash")
 
 
 @dataclass(frozen=True)
@@ -71,18 +97,24 @@ class SearchConfig:
         because leaf scans vectorize);
         ``"approximate"`` — two-stage with leaders/followers;
         ``"bruteforce"`` — exhaustive scan (used for high-dimensional
-        feature spaces where KD-trees degrade).
+        feature spaces where KD-trees degrade);
+        ``"gridhash"`` — flat voxel-hash grid (no tree at all; exact
+        for radii up to its cell size, approximate beyond — see
+        :mod:`repro.core.gridhash`).
     ``leaf_size``
         Target leaf-set size for the two-stage backends (the paper's
         sweep parameter in Fig. 6; ~128 at the design point).
     ``approx``
         Thresholds for the approximate backend.
+    ``gridhash``
+        Cell size and candidate cap for the voxel-hash backend.
     """
 
     backend: str = "twostage"
     leaf_size: int = 64
     split_rule: str = "widest"
     approx: ApproximateSearchConfig = field(default_factory=ApproximateSearchConfig)
+    gridhash: GridHashConfig = field(default_factory=GridHashConfig)
 
     def __post_init__(self):
         if self.backend not in _BACKENDS:
@@ -142,6 +174,101 @@ class _BruteForceIndex:
         return indices, dists
 
 
+# Flat neighbor pairs per chunk when recomputing squared distances at
+# cache-fill time; bounds the transient (chunk, dim) diff buffer.
+_REUSE_BLOCK = 1 << 20
+
+
+class RadiusReuseCache:
+    """One inflated radius search serving a frame's nested-radius stages.
+
+    Holds the CSR result (flat indices, offsets, distances, and the
+    backend's per-coordinate *squared* distances) of a single all-points
+    radius search at ``max_radius`` over ``index``.  ``fill`` runs that
+    search; ``serve`` derives any nested request — a row subset at any
+    radius ``r <= max_radius`` — via :func:`repro.core.ragged.csr_radius_select`,
+    bit-identical to a fresh query of the same rows.  Once filled the
+    cache is immutable, so repeated preprocessing of the same frame
+    reuses identically and charges identical stats.
+
+    The cache is valid for exactly one index object (compared by
+    identity): :class:`NeighborSearcher` bypasses it whenever its
+    effective index differs — notably the per-stage fresh
+    :class:`~repro.core.approx.ApproximateSearch` views, whose stateful
+    leader results must never be reused across stages.
+    """
+
+    def __init__(self, index, max_radius: float):
+        self.index = index
+        self.max_radius = float(max_radius)
+        self.filled = False
+        self._indices: np.ndarray | None = None
+        self._offsets: np.ndarray | None = None
+        self._dists: np.ndarray | None = None
+        self._sq_dists: np.ndarray | None = None
+
+    def covers_all_rows(self, self_indices: np.ndarray) -> bool:
+        """Whether ``self_indices`` is every index row in natural order
+        (the only query set whose result can serve arbitrary subsets)."""
+        n = len(self.index.points)
+        return len(self_indices) == n and bool(
+            np.array_equal(self_indices, np.arange(n, dtype=np.int64))
+        )
+
+    def fill(self, stats: SearchStats) -> None:
+        """Run the inflated all-points search and retain its CSR result.
+
+        Charged to ``stats`` exactly as the backend reports it — the
+        filling stage owns the work it executed, including the results
+        beyond its own requested radius that later stages will reuse.
+        """
+        points = self.index.points
+        idx_lists, dist_lists = self.index.radius_batch(
+            points, self.max_radius, stats
+        )
+        counts = np.fromiter(
+            (len(lst) for lst in idx_lists), dtype=np.int64, count=len(idx_lists)
+        )
+        offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        total = int(offsets[-1])
+        indices = (
+            np.concatenate(idx_lists) if total else np.empty(0, dtype=np.int64)
+        )
+        dists = (
+            np.concatenate(dist_lists) if total else np.empty(0, dtype=np.float64)
+        )
+        # Recompute the backends' squared distances (per-coordinate
+        # accumulation — every exact backend's acceptance operand) for
+        # the exact-filter predicate, chunked to bound transient memory.
+        owner = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+        sq = np.empty(total, dtype=np.float64)
+        for lo in range(0, total, _REUSE_BLOCK):
+            hi = min(lo + _REUSE_BLOCK, total)
+            diff = points[indices[lo:hi]] - points[owner[lo:hi]]
+            block = diff[:, 0] * diff[:, 0]
+            for c in range(1, diff.shape[1]):
+                block += diff[:, c] * diff[:, c]
+            sq[lo:hi] = block
+        self._indices, self._offsets = indices, offsets
+        self._dists, self._sq_dists = dists, sq
+        self.filled = True
+
+    def serve(
+        self, rows: np.ndarray, r: float, sort: bool = False
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Radius-``r`` result for index ``rows``, filtered from the cache."""
+        return csr_radius_select(
+            self._indices,
+            self._offsets,
+            self._sq_dists,
+            self._dists,
+            rows,
+            r,
+            sort=sort,
+        )
+
+
 class NeighborSearcher:
     """Uniform, instrumented query interface over any backend.
 
@@ -163,12 +290,14 @@ class NeighborSearcher:
         build_time: float,
         profiler: StageProfiler | None = None,
         injector=None,
+        reuse: RadiusReuseCache | None = None,
     ):
         self._index = index
         self.stats = stats
         self.build_time = build_time
         self._profiler = profiler
         self._injector = injector
+        self._reuse = reuse if reuse is not None and reuse.index is index else None
 
     @property
     def index(self):
@@ -250,9 +379,20 @@ class NeighborSearcher:
         return result
 
     def radius_batch(
-        self, queries: np.ndarray, r: float, sort: bool = False
+        self,
+        queries: np.ndarray,
+        r: float,
+        sort: bool = False,
+        self_indices: np.ndarray | None = None,
     ) -> tuple[list[np.ndarray], list[np.ndarray]]:
-        """Radius search for every row of ``queries``: ragged lists."""
+        """Radius search for every row of ``queries``: ragged lists.
+
+        ``self_indices``, when given, asserts that row ``i`` of
+        ``queries`` is index point ``self_indices[i]`` — the hint that
+        lets an installed :class:`RadiusReuseCache` serve the call by
+        filtering its cached larger-radius result (bit-identical to the
+        fresh search).  Searchers without a cache ignore it.
+        """
         start = time.perf_counter()
         if self._injector is not None:
             if hasattr(self._injector, "radius_batch"):
@@ -262,11 +402,44 @@ class NeighborSearcher:
             else:
                 result = self._loop_injected_radius(queries, r, sort)
         else:
-            result = self._index.radius_batch(queries, r, self.stats, sort=sort)
+            result = self._reused_radius(r, sort, self_indices)
+            if result is None:
+                result = self._index.radius_batch(
+                    queries, r, self.stats, sort=sort
+                )
         self.stats.batches += 1
         if self._profiler is not None:
             self._profiler.charge_search(time.perf_counter() - start)
         return result
+
+    def _reused_radius(self, r, sort, self_indices):
+        """Serve a radius batch from the reuse cache, or None for fresh.
+
+        The first eligible full-cloud call fills the cache (inflated to
+        the planned maximum radius, charged to this searcher's stats as
+        the backend reports it); later calls — any row subset at any
+        nested radius — charge ``reused_queries``/``cache_hits`` and
+        their filtered result counts, but no traversal work.
+        """
+        cache = self._reuse
+        if cache is None or self_indices is None or r > cache.max_radius:
+            return None
+        self_indices = np.asarray(self_indices, dtype=np.int64)
+        filled_now = False
+        if not cache.filled:
+            if not cache.covers_all_rows(self_indices):
+                return None
+            cache.fill(self.stats)
+            filled_now = True
+        idx_lists, dist_lists = cache.serve(self_indices, r, sort=sort)
+        if not filled_now:
+            self.stats.queries += len(self_indices)
+            self.stats.reused_queries += len(self_indices)
+            self.stats.cache_hits += 1
+            self.stats.results_returned += int(
+                sum(len(lst) for lst in idx_lists)
+            )
+        return idx_lists, dist_lists
 
     # Fallbacks for third-party injectors that only define scalar hooks.
 
@@ -333,6 +506,8 @@ def build_index(
             points, config.leaf_size, split_rule=config.split_rule
         )
         index = ApproximateSearch(tree, config.approx)
+    elif config.backend == "gridhash":
+        index = GridHashIndex(points, config.gridhash)
     else:
         index = _BruteForceIndex(points)
     build_time = time.perf_counter() - start

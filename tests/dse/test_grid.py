@@ -1,5 +1,6 @@
 """Unit tests for the parametric sweep grid."""
 
+import numpy as np
 import pytest
 
 from repro.dse import SweepSpec, default_sweep, fingerprint_groups, parameter_grid
@@ -125,3 +126,73 @@ class TestFingerprintGroups:
         a = PipelineConfig(injectors={"RPCE": FakeInjector()})
         b = PipelineConfig(injectors={"RPCE": FakeInjector()})
         assert a.frontend_fingerprint() == b.frontend_fingerprint()
+
+
+class TestGridHashKnobs:
+    """The voxel-hash backend as a swept design axis (cell size and
+    candidate cap), through the grid, the fingerprints, and a real
+    exploration with Pareto extraction."""
+
+    def test_knobs_expand_and_trace(self):
+        spec = SweepSpec(
+            search_backend=["gridhash"],
+            search_gridhash_cell=[0.5, 1.0],
+            search_gridhash_max_candidates=[None, 32],
+        )
+        points = list(parameter_grid(spec))
+        assert len(points) == 4
+        for name, config in points:
+            assert "gc=" in name and "gm=" in name and "sb=gridhash" in name
+            assert config.search.backend == "gridhash"
+        cells = sorted(
+            {c.search.gridhash.cell_size for _, c in points}
+        )
+        caps = {c.search.gridhash.max_candidates for _, c in points}
+        assert cells == [0.5, 1.0]
+        assert caps == {None, 32}
+
+    def test_gridhash_knobs_split_fingerprints(self):
+        spec = SweepSpec(
+            search_backend=["gridhash"],
+            search_gridhash_cell=[0.5, 1.0, 2.0],
+        )
+        groups = fingerprint_groups(dict(parameter_grid(spec)))
+        assert len(groups) == 3
+
+    def test_explore_places_gridhash_on_the_map(self, lidar_sequence):
+        """Gridhash design points evaluate end to end and enter the
+        Pareto machinery alongside the tree backends."""
+        from repro.dse import explore, pareto_frontier
+        from repro.registration import ICPConfig, KeypointConfig, RPCEConfig
+        from repro.registration.search import SearchConfig
+        from repro.core.gridhash import GridHashConfig
+
+        def config(backend, cell=1.0):
+            return PipelineConfig(
+                keypoints=KeypointConfig(
+                    method="uniform", params={"voxel_size": 3.0}, min_keypoints=8
+                ),
+                icp=ICPConfig(
+                    rpce=RPCEConfig(max_distance=1.5), max_iterations=5
+                ),
+                voxel_downsample=1.2,
+                skip_initial_estimation=True,
+                search=SearchConfig(
+                    backend=backend, gridhash=GridHashConfig(cell_size=cell)
+                ),
+            )
+
+        configs = {
+            "twostage": config("twostage"),
+            "gridhash-1.0": config("gridhash", 1.0),
+            "gridhash-2.0": config("gridhash", 2.0),
+        }
+        report = explore(configs, lidar_sequence, max_pairs=1)
+        by_name = {r.name: r for r in report.results}
+        assert set(by_name) == set(configs)
+        for result in report.results:
+            assert np.isfinite(result.time) and result.time > 0
+            assert np.isfinite(result.translational_error)
+        frontier = pareto_frontier(report.results)
+        assert frontier  # non-empty, and every member is a real result
+        assert {r.name for r in frontier} <= set(configs)

@@ -26,6 +26,32 @@ shifted the KPCE/RPCE nodes_visited work counters by ~0.1%; the final
 transform and errors changed at the 1e-12 level and every other
 discrete outcome (iterations, keyframe schedule, loop edges) is
 unchanged.  The golden file pins the segment-kernel rule.
+
+Re-pin history: the vectorized canonical-tree traversal (PR 6)
+unified the canonical KD-tree's tie rule with the bruteforce/batch
+contract — nn/knn now keep the lexicographically smallest
+(distance, index) pair instead of the first candidate the recursion
+happened to visit, and squared distances accumulate per coordinate
+(matching the batch kernels) instead of via ``diff @ diff``.  KPCE
+searches 33-d FPFH descriptors with the canonical backend, where
+identical local geometry manufactures exact descriptor-distance
+ties; the unified rule flips a handful of tied correspondences
+(verified index-for-index against bruteforce), moving one RANSAC
+inlier (10 -> 11), the initial estimate at the 1e-5 level, the KPCE/
+RPCE nodes_visited counters by <0.1%, and the final transform at the
+1e-12 level.  The same PR also introduced nested-radius search reuse:
+preprocess runs ONE all-points radius search at the largest planned
+radius and derives every nested stage neighborhood by filtering the
+cached CSR result — bit-identical artifacts (normals, keypoints,
+descriptors; asserted by tests/registration/test_radius_reuse.py),
+but honestly re-attributed work counters.  In the quickstart scenario
+Normal Estimation now executes the inflated search (nodes_visited
+1.02M -> 1.37M, results_returned counts the retained radius-1.0
+neighborhoods) while Descriptor Calculation's 570k node visits drop
+to zero (all queries served from the cache) — a net ~14% reduction in
+counted distance computations and 3 of 4 search batches eliminated.
+The odometry and mapping scenarios (skip_initial_estimation, where no
+reuse is planned, and no KPCE descriptor search) are bit-unchanged.
 """
 
 import json

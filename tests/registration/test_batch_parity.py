@@ -19,7 +19,7 @@ from repro.registration.error_injection import (
 )
 from repro.registration.search import NeighborSearcher, SearchConfig, build_searcher
 
-BACKENDS = ("canonical", "twostage", "approximate", "bruteforce")
+BACKENDS = ("canonical", "twostage", "approximate", "bruteforce", "gridhash")
 
 
 def make_cloud(seed: int, n: int, duplicates: bool = False) -> np.ndarray:
@@ -206,6 +206,56 @@ def test_radius_stats_match_scalar(backend):
         s2.traversal_steps,
         s2.pruned_subtrees,
     )
+
+
+class TestCanonicalFrontierParity:
+    """The canonical KD-tree's level-synchronous frontier sweep must be
+    bit-identical to its pinned sequential per-query loop.  Radius
+    sweeps also charge identical work counters (radius pruning is
+    bound-independent, so the frontier replays the exact schedule);
+    nn/knn frontiers tighten their bounds in level order rather than
+    depth-first order, so only their results — not their node visit
+    counts — are pinned."""
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        duplicates=st.booleans(),
+        k=st.integers(1, 80),
+        r=st.sampled_from([0.0, 1e-6, 0.4, 1.5, 50.0]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_frontier_equals_sequential(self, seed, duplicates, k, r):
+        from repro.kdtree.tree import KDTree
+
+        points = make_cloud(seed, 70, duplicates)
+        queries = make_queries(seed, points, 18)
+        tree = KDTree(points)
+
+        s_seq, s_fast = SearchStats(), SearchStats()
+        si, sd = tree.nn_batch(queries, s_seq, sequential=True)
+        fi, fd = tree.nn_batch(queries, s_fast)
+        assert np.array_equal(si, fi) and np.array_equal(sd, fd)
+        assert (s_seq.queries, s_seq.results_returned) == (
+            s_fast.queries,
+            s_fast.results_returned,
+        )
+
+        s_seq, s_fast = SearchStats(), SearchStats()
+        si, sd = tree.knn_batch(queries, k, s_seq, sequential=True)
+        fi, fd = tree.knn_batch(queries, k, s_fast)
+        assert np.array_equal(si, fi) and np.array_equal(sd, fd)
+        assert (s_seq.queries, s_seq.results_returned) == (
+            s_fast.queries,
+            s_fast.results_returned,
+        )
+
+        for sort in (False, True):
+            s_seq, s_fast = SearchStats(), SearchStats()
+            si, sd = tree.radius_batch(queries, r, s_seq, sort=sort, sequential=True)
+            fi, fd = tree.radius_batch(queries, r, s_fast, sort=sort)
+            for a, b, c, d in zip(si, fi, sd, fd):
+                assert np.array_equal(a, b) and np.array_equal(c, d)
+            assert s_seq == s_fast
 
 
 def test_uniform_points_property():

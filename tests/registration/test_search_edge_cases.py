@@ -1,0 +1,144 @@
+"""Degenerate-input behavior of every search backend.
+
+The five backends share one interface and must agree on the edges:
+empty result sets, k exceeding the point count, exact duplicates
+(distance ties), single-point clouds, and invalid arguments.  Exact
+backends must agree with brute force bit for bit in every such case;
+the approximate backends must at least keep shapes, dtypes, and
+ordering invariants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.registration.search import SearchConfig, build_searcher
+
+ALL_BACKENDS = ("canonical", "twostage", "approximate", "bruteforce", "gridhash")
+EXACT_BACKENDS = ("canonical", "twostage", "bruteforce", "gridhash")
+
+
+def searcher_for(points, backend):
+    return build_searcher(points, SearchConfig(backend=backend, leaf_size=8))
+
+
+@pytest.fixture()
+def cloud():
+    rng = np.random.default_rng(21)
+    return rng.uniform(-3, 3, size=(120, 3))
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+class TestEmptyResults:
+    def test_zero_radius_off_point(self, backend, cloud):
+        searcher = searcher_for(cloud, backend)
+        indices, dists = searcher.radius(np.array([50.0, 50.0, 50.0]), 0.0)
+        assert len(indices) == len(dists) == 0
+        assert indices.dtype == np.int64
+        assert dists.dtype == np.float64
+
+    def test_tiny_radius_batch_all_empty(self, backend, cloud):
+        searcher = searcher_for(cloud, backend)
+        queries = cloud[:7] + 0.5  # nudged off every point
+        idx_lists, dist_lists = searcher.radius_batch(queries, 1e-9)
+        assert len(idx_lists) == len(dist_lists) == 7
+        for indices, dists in zip(idx_lists, dist_lists):
+            assert len(indices) == len(dists) == 0
+
+    def test_zero_radius_on_point_returns_self(self, backend, cloud):
+        if backend == "approximate":
+            pytest.skip("follower shortcut may skip the exact self-match")
+        searcher = searcher_for(cloud, backend)
+        indices, dists = searcher.radius(cloud[13], 0.0)
+        assert 13 in indices
+        assert np.all(dists == 0.0)
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+class TestKExceedsN:
+    def test_knn_clamps_to_n(self, backend, cloud):
+        searcher = searcher_for(cloud, backend)
+        indices, dists = searcher.knn(cloud[0], len(cloud) + 50)
+        assert len(indices) <= len(cloud)
+        if backend != "approximate":
+            assert len(indices) == len(cloud)
+            assert len(np.unique(indices)) == len(cloud)
+            assert np.all(np.diff(dists) >= 0)
+
+    def test_knn_batch_rectangle(self, backend, cloud):
+        searcher = searcher_for(cloud, backend)
+        queries = cloud[:5]
+        indices, dists = searcher.knn_batch(queries, len(cloud) * 2)
+        assert indices.shape == dists.shape == (5, len(cloud))
+
+    def test_k_nonpositive_raises(self, backend, cloud):
+        searcher = searcher_for(cloud, backend)
+        with pytest.raises(ValueError):
+            searcher.knn(cloud[0], 0)
+
+
+class TestDuplicatePoints:
+    """Exact duplicates manufacture ties; the shared (distance, index)
+    rule must hold on every exact backend."""
+
+    @pytest.fixture()
+    def dup_cloud(self):
+        rng = np.random.default_rng(8)
+        base = rng.uniform(-2, 2, size=(40, 3))
+        return np.vstack([base, base, base[:5]])  # every point at least twice
+
+    @pytest.mark.parametrize("backend", EXACT_BACKENDS)
+    def test_nn_prefers_lowest_index(self, backend, dup_cloud):
+        searcher = searcher_for(dup_cloud, backend)
+        for q in range(40, 80):  # the second copy of each point
+            index, dist = searcher.nn(dup_cloud[q])
+            assert dist == 0.0
+            assert index == q - 40  # the first copy wins the tie
+
+    @pytest.mark.parametrize("backend", EXACT_BACKENDS)
+    def test_radius_returns_all_copies(self, backend, dup_cloud):
+        searcher = searcher_for(dup_cloud, backend)
+        indices, dists = searcher.radius(dup_cloud[3], 1e-12)
+        copies = {3, 43, 83}  # base, duplicate block, head slice
+        assert copies.issubset(set(indices.tolist()))
+        assert np.all(np.diff(indices) > 0)  # ascending-index contract
+
+    @pytest.mark.parametrize("backend", EXACT_BACKENDS)
+    def test_knn_tie_order_matches_bruteforce(self, backend, dup_cloud):
+        reference = searcher_for(dup_cloud, "bruteforce")
+        searcher = searcher_for(dup_cloud, backend)
+        for q in dup_cloud[:10]:
+            bi, bd = reference.knn(q, 6)
+            si, sd = searcher.knn(q, 6)
+            # The tie-broken index order is the cross-backend contract;
+            # distances agree only to the last ulp (the backends
+            # accumulate squared distances in different orders).
+            assert np.array_equal(bi, si)
+            np.testing.assert_allclose(bd, sd, rtol=1e-12, atol=0.0)
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+class TestSinglePointCloud:
+    def test_all_queries_resolve(self, backend):
+        point = np.array([[1.0, -2.0, 0.5]])
+        searcher = searcher_for(point, backend)
+        index, dist = searcher.nn(np.zeros(3))
+        assert index == 0
+        assert dist == pytest.approx(np.sqrt(5.25))
+        indices, dists = searcher.knn(np.zeros(3), 10)
+        assert np.array_equal(indices, [0])
+        near_i, near_d = searcher.radius(np.array([1.0, -2.0, 0.5]), 0.1)
+        assert np.array_equal(near_i, [0]) and near_d[0] == 0.0
+        far_i, far_d = searcher.radius(np.zeros(3), 0.1)
+        assert len(far_i) == len(far_d) == 0
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+class TestInvalidInputs:
+    def test_empty_cloud_rejected_at_build(self, backend):
+        with pytest.raises(ValueError):
+            searcher_for(np.empty((0, 3)), backend)
+
+    def test_negative_radius_rejected(self, backend, cloud):
+        searcher = searcher_for(cloud, backend)
+        with pytest.raises(ValueError):
+            searcher.radius(cloud[0], -0.5)
