@@ -1,10 +1,27 @@
-"""Setup shim for legacy editable installs (offline environments).
+"""Install metadata for the Tigris reproduction package.
 
-The project metadata lives in pyproject.toml; this file exists so that
-``pip install -e .`` works with older setuptools/pip without network
-access to a PEP 517 build environment.
+There is no pyproject.toml on purpose: the target environments are
+offline containers where ``pip install -e .`` must work with whatever
+setuptools is baked in, without a PEP 517 build front end fetching
+anything.  Keep the dependency list in sync with the CI workflow
+(.github/workflows/ci.yml), which installs the same packages directly.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Tigris-style 3D point-cloud registration: "
+        "streaming odometry, loop-closing SLAM, and a sparse "
+        "incremental pose-graph back end"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy",
+        "scipy",  # sparse normal equations in repro.mapping.pose_graph
+    ],
+)

@@ -46,6 +46,9 @@ __all__ = [
     "skew",
     "exp",
     "log",
+    "adjoint",
+    "left_jacobian",
+    "left_jacobian_inv",
     "quaternion_to_rotation",
     "rotation_to_quaternion",
     "random_rotation",
@@ -360,6 +363,96 @@ def log(transform: np.ndarray) -> np.ndarray:
         phi = axis * angle
     rho = _so3_left_jacobian_inv(phi) @ transform[:3, 3]
     return np.concatenate([rho, phi])
+
+
+def adjoint(transform: np.ndarray) -> np.ndarray:
+    """The 6x6 adjoint of a rigid transform, for ``[rho, phi]`` twists.
+
+    ``Ad(T)`` carries a twist across a frame change:
+    ``T exp(xi) T^-1 == exp(Ad(T) xi)`` exactly.  With the translation
+    part first it is the block matrix ``[[R, skew(t) R], [0, R]]``.
+    The pose-graph linearization uses it to refer a perturbation of one
+    edge endpoint to the other endpoint's frame.
+    """
+    transform = np.asarray(transform, dtype=np.float64)
+    rotation = transform[:3, :3]
+    result = np.zeros((6, 6), dtype=np.float64)
+    result[:3, :3] = rotation
+    result[3:, 3:] = rotation
+    result[:3, 3:] = skew(transform[:3, 3]) @ rotation
+    return result
+
+
+def _se3_q_matrix(rho: np.ndarray, phi: np.ndarray) -> np.ndarray:
+    """Barfoot's Q(rho, phi): the translation-rotation coupling block of
+    the SE(3) left Jacobian (State Estimation for Robotics, eq. 7.86).
+
+    Exact closed form for all rotation angles below 2*pi; the
+    coefficients switch to truncated series near zero where their
+    closed forms lose precision to cancellation.
+    """
+    rx = skew(rho)
+    px = skew(phi)
+    theta = float(np.linalg.norm(phi))
+    if theta < _SMALL_ANGLE:
+        c1 = 1.0 / 6.0 - theta**2 / 120.0
+        c2 = 1.0 / 24.0 - theta**2 / 720.0
+        # (theta - sin - theta^3/6)/theta^5 -> -1/120 as theta -> 0.
+        c3 = -0.5 * (1.0 / 24.0 + 3.0 / 120.0)
+    else:
+        c1 = (theta - np.sin(theta)) / theta**3
+        c2 = (1.0 - theta**2 / 2.0 - np.cos(theta)) / theta**4
+        c3 = -0.5 * (
+            c2 - 3.0 * (theta - np.sin(theta) - theta**3 / 6.0) / theta**5
+        )
+    px_rx = px @ rx
+    rx_px = rx @ px
+    px_rx_px = px_rx @ px
+    return (
+        0.5 * rx
+        + c1 * (px_rx + rx_px + px_rx_px)
+        - c2 * (px @ px_rx + rx_px @ px - 3.0 * px_rx_px)
+        + c3 * (px_rx_px @ px + px @ px_rx_px)
+    )
+
+
+def left_jacobian(twist: np.ndarray) -> np.ndarray:
+    """The 6x6 SE(3) left Jacobian J_l of a ``[rho, phi]`` twist.
+
+    Defining property (to first order in ``delta``):
+    ``exp(twist + delta) == exp(J_l(twist) @ delta) @ exp(twist)``.
+    Block upper-triangular: SO(3) left Jacobians on the diagonal and
+    Barfoot's Q matrix coupling translation to rotation.
+    """
+    twist = np.asarray(twist, dtype=np.float64).reshape(6)
+    rho, phi = twist[:3], twist[3:]
+    j = _so3_left_jacobian(phi)
+    result = np.zeros((6, 6), dtype=np.float64)
+    result[:3, :3] = j
+    result[3:, 3:] = j
+    result[:3, 3:] = _se3_q_matrix(rho, phi)
+    return result
+
+
+def left_jacobian_inv(twist: np.ndarray) -> np.ndarray:
+    """The inverse 6x6 SE(3) left Jacobian of a ``[rho, phi]`` twist.
+
+    Satisfies ``log(exp(delta) @ exp(twist)) == twist +
+    J_l^-1(twist) @ delta`` to first order — the relation the
+    pose-graph edge linearization is built on.  The right-Jacobian
+    variants follow from ``J_r(xi) == J_l(-xi)``.  Computed in closed
+    block form (not by inverting :func:`left_jacobian`): the inverse of
+    an upper block-triangular matrix with equal diagonal blocks is
+    ``[[J^-1, -J^-1 Q J^-1], [0, J^-1]]``.
+    """
+    twist = np.asarray(twist, dtype=np.float64).reshape(6)
+    rho, phi = twist[:3], twist[3:]
+    j_inv = _so3_left_jacobian_inv(phi)
+    result = np.zeros((6, 6), dtype=np.float64)
+    result[:3, :3] = j_inv
+    result[3:, 3:] = j_inv
+    result[:3, 3:] = -j_inv @ _se3_q_matrix(rho, phi) @ j_inv
+    return result
 
 
 def quaternion_to_rotation(quaternion: np.ndarray) -> np.ndarray:

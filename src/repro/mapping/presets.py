@@ -51,7 +51,12 @@ def urban_loop_mapper_config(**overrides) -> MapperConfig:
 
     Keyframes every ~1.5 m / 20 deg — roughly every other frame of the
     48-frame two-lap circuit — with the stock loop-closure, pose-graph,
-    and voxel-map defaults.  ``overrides`` pass through to
+    and voxel-map defaults.  The stock
+    :class:`~repro.mapping.pose_graph.PoseGraphConfig` defaults
+    (``hop_radius=5``, ``escalation_factor=1.5``) are tuned so the
+    sparse incremental back end reproduces this scenario's batch-solver
+    trajectory exactly — the ``mapping_urban_loop`` golden holds with
+    the incremental path enabled.  ``overrides`` pass through to
     :class:`~repro.mapping.mapper.MapperConfig` (e.g.
     ``enable_loop_closure=False`` for the open-loop comparison legs).
     """

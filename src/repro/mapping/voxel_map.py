@@ -3,13 +3,18 @@
 The global map is a hash from integer voxel coordinates to a fused
 point: the running centroid of every inserted point that fell in the
 voxel, plus an occupancy count.  Contributions are tracked **per
-keyframe** — each insertion records which voxels the keyframe touched
-and with what mass — so when pose-graph optimization moves keyframes,
-:meth:`VoxelMap.re_anchor` subtracts each moved keyframe's old
-contribution and re-inserts it at the corrected pose, leaving untouched
-keyframes' work in place.  Spatial queries (nearest / radius) walk only
-the voxel-key neighborhood that can contain hits, the map-level
-analogue of the pipeline's leaf-scan search backends.
+keyframe within each voxel** — a voxel entry is a small map from
+source id to that source's exact point-sum and count — so when
+pose-graph optimization moves keyframes, :meth:`VoxelMap.re_anchor`
+subtracts each moved keyframe's old contribution and re-inserts it at
+the corrected pose, leaving untouched keyframes' work bit-for-bit in
+place.  Removing a contribution deletes the source's entry rather than
+subtracting floats from a shared accumulator, so repeated
+subtract/re-add cycles cannot drift surviving voxel sums, and removing
+mass a source never contributed raises instead of silently emptying
+the voxel.  Spatial queries (nearest / radius) walk only the voxel-key
+neighborhood that can contain hits, the map-level analogue of the
+pipeline's leaf-scan search backends.
 """
 
 from __future__ import annotations
@@ -50,10 +55,11 @@ class VoxelMap:
 
     def __init__(self, config: VoxelMapConfig | None = None):
         self.config = config or VoxelMapConfig()
-        # voxel key -> [sum_of_points (3,), count]
-        self._voxels: dict[tuple[int, int, int], list] = {}
+        # voxel key -> {source id: [sum_of_points (3,), count]}
+        self._voxels: dict[tuple[int, int, int], dict[int, list]] = {}
         # keyframe id -> (local points (N, 3), pose used at insertion)
         self._sources: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._n_points = 0
 
     # ------------------------------------------------------------------
     # Occupancy accounting.
@@ -66,12 +72,14 @@ class VoxelMap:
     @property
     def n_points(self) -> int:
         """Total fused points (occupancy mass) across all voxels."""
-        return int(sum(entry[1] for entry in self._voxels.values()))
+        return self._n_points
 
     def count(self, key: tuple[int, int, int]) -> int:
         """Occupancy count of one voxel (0 when empty)."""
-        entry = self._voxels.get(key)
-        return 0 if entry is None else int(entry[1])
+        contributions = self._voxels.get(key)
+        if contributions is None:
+            return 0
+        return int(sum(entry[1] for entry in contributions.values()))
 
     def keys(self, points: np.ndarray) -> np.ndarray:
         """Integer voxel coordinates for an (N, 3) array of points."""
@@ -96,14 +104,17 @@ class VoxelMap:
             self._remove(source_id)
         pose = np.array(pose, dtype=np.float64)
         self._sources[source_id] = (local_points, pose)
-        self._apply(local_points, pose, sign=+1.0)
+        self._add(source_id, local_points, pose)
 
     def re_anchor(self, poses: dict[int, np.ndarray]) -> int:
         """Move contributions to optimized poses; returns how many moved.
 
         Only keyframes whose pose changed beyond the configured
         tolerances are re-binned; the rest of the map is untouched —
-        the "incremental" half of the contract.
+        the "incremental" half of the contract.  Because contributions
+        are stored per source, the subtract/re-add cycle rebuilds the
+        moved keyframe's voxel sums exactly and cannot perturb the
+        sums of keyframes that stayed put.
         """
         moved = 0
         for source_id, new_pose in poses.items():
@@ -116,23 +127,25 @@ class VoxelMap:
                 and np.degrees(rotation) < self.config.reanchor_rotation_tol_deg
             ):
                 continue
-            self._apply(local_points, old_pose, sign=-1.0)
+            self._subtract(source_id, local_points, old_pose)
             new_pose = np.array(new_pose, dtype=np.float64)
             self._sources[source_id] = (local_points, new_pose)
-            self._apply(local_points, new_pose, sign=+1.0)
+            self._add(source_id, local_points, new_pose)
             moved += 1
         return moved
 
     def _remove(self, source_id: int) -> None:
         local_points, pose = self._sources.pop(source_id)
-        self._apply(local_points, pose, sign=-1.0)
+        self._subtract(source_id, local_points, pose)
 
-    def _apply(self, local_points: np.ndarray, pose: np.ndarray, sign: float) -> None:
-        """Add (or subtract) one contribution's per-voxel mass.
+    def _grouped(self, local_points: np.ndarray, pose: np.ndarray):
+        """Yield ``(voxel key, point sum, count)`` per touched voxel.
 
         Per-voxel sums and counts come from one ``reduceat`` pass over
-        the lexsorted points (the ragged-kernel form of the binning);
-        only the hash-table update itself walks the touched voxels.
+        the lexsorted world-frame points (the ragged-kernel form of the
+        binning).  Deterministic: the same points and pose always
+        produce the same groups, which is what lets removal re-derive
+        exactly the voxels an insertion touched.
         """
         world = se3.apply_transform(pose, local_points)
         if len(world) == 0:
@@ -142,37 +155,71 @@ class VoxelMap:
         )
         sorted_points = world[order]
         group_sums = np.add.reduceat(sorted_points, starts, axis=0)
-        for key_list, group_sum, count in zip(
-            sorted_keys[starts].tolist(), group_sums, counts.tolist()
-        ):
-            key = tuple(key_list)
-            entry = self._voxels.get(key)
-            if entry is None:
-                if sign < 0:
-                    raise KeyError(f"removing from empty voxel {key}")
-                self._voxels[key] = [group_sum, count]
-                continue
-            entry[0] = entry[0] + sign * group_sum
-            entry[1] = entry[1] + int(sign) * count
-            if entry[1] <= 0:
+        yield from zip(
+            map(tuple, sorted_keys[starts].tolist()), group_sums, counts.tolist()
+        )
+
+    def _add(self, source_id: int, local_points: np.ndarray, pose: np.ndarray) -> None:
+        for key, group_sum, count in self._grouped(local_points, pose):
+            self._voxels.setdefault(key, {})[source_id] = [group_sum, int(count)]
+            self._n_points += int(count)
+
+    def _subtract(self, source_id: int, local_points: np.ndarray, pose: np.ndarray) -> None:
+        """Delete one source's per-voxel entries (exact, no float math).
+
+        Raises ``KeyError`` if the source has no contribution in a
+        voxel it claims to have touched — the accounting error the old
+        aggregate representation silently swallowed by deleting voxels
+        whose count went negative.
+        """
+        for key, _, count in self._grouped(local_points, pose):
+            contributions = self._voxels.get(key)
+            if contributions is None or source_id not in contributions:
+                raise KeyError(
+                    f"source {source_id} has no contribution in voxel {key}"
+                )
+            entry = contributions.pop(source_id)
+            if entry[1] != int(count):
+                raise ValueError(
+                    f"voxel {key}: source {source_id} removing {int(count)} "
+                    f"points but contributed {entry[1]}"
+                )
+            self._n_points -= entry[1]
+            if not contributions:
                 del self._voxels[key]
 
     # ------------------------------------------------------------------
     # Fused views and spatial queries.
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _fused(contributions: dict[int, list]) -> np.ndarray:
+        """One voxel's fused centroid from its per-source entries."""
+        entries = iter(contributions.values())
+        first = next(entries)
+        point_sum = first[0]
+        count = first[1]
+        for entry in entries:
+            point_sum = point_sum + entry[0]
+            count += entry[1]
+        return point_sum / count
+
     def fused_points(self) -> np.ndarray:
         """Per-voxel fused centroids, (V, 3), in hash order."""
         if not self._voxels:
             return np.empty((0, 3))
         return np.array(
-            [entry[0] / entry[1] for entry in self._voxels.values()]
+            [self._fused(contributions) for contributions in self._voxels.values()]
         )
 
     def to_cloud(self) -> PointCloud:
         """The fused map as a ``PointCloud`` with a ``count`` channel."""
         counts = np.array(
-            [entry[1] for entry in self._voxels.values()], dtype=np.int64
+            [
+                sum(entry[1] for entry in contributions.values())
+                for contributions in self._voxels.values()
+            ],
+            dtype=np.int64,
         )
         return PointCloud(self.fused_points().reshape(-1, 3), count=counts)
 
@@ -194,10 +241,10 @@ class VoxelMap:
         for kx in range(int(lo[0]), int(hi[0]) + 1):
             for ky in range(int(lo[1]), int(hi[1]) + 1):
                 for kz in range(int(lo[2]), int(hi[2]) + 1):
-                    entry = self._voxels.get((kx, ky, kz))
-                    if entry is None:
+                    contributions = self._voxels.get((kx, ky, kz))
+                    if contributions is None:
                         continue
-                    fused = entry[0] / entry[1]
+                    fused = self._fused(contributions)
                     dist = float(np.linalg.norm(fused - query))
                     if dist <= r:
                         hits.append(fused)

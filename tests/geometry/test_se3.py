@@ -277,3 +277,108 @@ class TestLieMaps:
         b = np.array([0, 1e-4, 0, 0, 0, 1e-4])
         combined = se3.log(se3.compose(se3.exp(a), se3.exp(b)))
         np.testing.assert_allclose(combined, a + b, atol=1e-7)
+
+
+def random_twist(rng, rotation_angle: float) -> np.ndarray:
+    """A random twist with the given (exact) rotation magnitude."""
+    phi = rng.normal(size=3)
+    phi *= rotation_angle / np.linalg.norm(phi)
+    return np.concatenate([rng.normal(scale=2.0, size=3), phi])
+
+
+def numeric_left_jacobian_inv(twist: np.ndarray, h: float = 1e-6) -> np.ndarray:
+    """Central differences on log(exp(delta) exp(twist)) around delta=0."""
+    jac = np.empty((6, 6))
+    for axis in range(6):
+        delta = np.zeros(6)
+        delta[axis] = h
+        plus = se3.log(se3.compose(se3.exp(delta), se3.exp(twist)))
+        minus = se3.log(se3.compose(se3.exp(-delta), se3.exp(twist)))
+        jac[:, axis] = (plus - minus) / (2.0 * h)
+    return jac
+
+
+class TestSE3Jacobians:
+    """The 6x6 adjoint / left-Jacobian helpers the pose-graph back end
+    builds its analytic edge linearization on, pinned against central
+    differences (the seed optimizer's Jacobian construction)."""
+
+    # Rotation magnitudes covering the series branch, the generic closed
+    # form, and the near-pi regime where naive forms degrade.
+    ANGLES = [1e-12, 1e-8, 1e-7, 1e-4, 0.3, 1.5, 2.9, np.pi - 1e-3]
+
+    def test_adjoint_carries_twists_across_frames(self, rng):
+        """T exp(xi) T^-1 == exp(Ad(T) xi), exactly (not just first order)."""
+        for _ in range(20):
+            transform = se3.random_transform(rng, max_translation=5.0)
+            twist = rng.normal(scale=0.4, size=6)
+            lhs = se3.compose(
+                transform, se3.exp(twist), se3.invert(transform)
+            )
+            np.testing.assert_allclose(
+                lhs, se3.exp(se3.adjoint(transform) @ twist), atol=1e-12
+            )
+
+    def test_adjoint_of_identity(self):
+        assert np.array_equal(se3.adjoint(se3.identity()), np.eye(6))
+
+    def test_adjoint_of_inverse_is_inverse_adjoint(self, rng):
+        transform = se3.random_transform(rng, max_translation=3.0)
+        np.testing.assert_allclose(
+            se3.adjoint(se3.invert(transform)),
+            np.linalg.inv(se3.adjoint(transform)),
+            atol=1e-10,
+        )
+
+    def test_adjoint_is_multiplicative(self, rng):
+        a = se3.random_transform(rng)
+        b = se3.random_transform(rng)
+        np.testing.assert_allclose(
+            se3.adjoint(se3.compose(a, b)),
+            se3.adjoint(a) @ se3.adjoint(b),
+            atol=1e-12,
+        )
+
+    def test_left_jacobian_inv_matches_central_differences(self, rng):
+        """The 1e-6 parity bar of ISSUE 7, across all angle regimes."""
+        for angle in self.ANGLES:
+            for _ in range(5):
+                twist = random_twist(rng, angle)
+                np.testing.assert_allclose(
+                    se3.left_jacobian_inv(twist),
+                    numeric_left_jacobian_inv(twist),
+                    atol=1e-6,
+                    err_msg=f"angle={angle}",
+                )
+
+    def test_left_jacobian_inverts_left_jacobian_inv(self, rng):
+        for angle in self.ANGLES:
+            twist = random_twist(rng, angle)
+            np.testing.assert_allclose(
+                se3.left_jacobian(twist) @ se3.left_jacobian_inv(twist),
+                np.eye(6),
+                atol=1e-9,
+                err_msg=f"angle={angle}",
+            )
+
+    def test_left_jacobian_of_zero_is_identity(self):
+        assert np.allclose(se3.left_jacobian(np.zeros(6)), np.eye(6))
+        assert np.allclose(se3.left_jacobian_inv(np.zeros(6)), np.eye(6))
+
+    def test_left_jacobian_first_order_property(self, rng):
+        """exp(xi + d) ~ exp(J_l(xi) d) exp(xi) for small d."""
+        twist = random_twist(rng, 1.2)
+        delta = rng.normal(scale=1e-5, size=6)
+        lhs = se3.exp(twist + delta)
+        rhs = se3.compose(
+            se3.exp(se3.left_jacobian(twist) @ delta), se3.exp(twist)
+        )
+        np.testing.assert_allclose(lhs, rhs, atol=1e-9)
+
+    def test_continuity_across_the_q_series_threshold(self):
+        """The Q-matrix series branch matches the closed form at 1e-6."""
+        rho = np.array([1.0, -2.0, 3.0])
+        axis = np.array([2.0, -1.0, 2.0]) / 3.0
+        below = se3.left_jacobian(np.concatenate([rho, axis * 0.9e-6]))
+        above = se3.left_jacobian(np.concatenate([rho, axis * 1.1e-6]))
+        np.testing.assert_allclose(below, above, atol=1e-5)

@@ -181,6 +181,8 @@ class TestMapperMechanics:
             assert translation < mapper.map.config.reanchor_translation_tol + 1e-9
         assert mapper.stats.loop_seconds > 0.0
         assert mapper.stats.optimize_seconds > 0.0
+        # Re-anchoring is accounted separately from the solver.
+        assert mapper.stats.reanchor_seconds > 0.0
 
     def test_trajectory_is_anchored_to_keyframes(self, mapped):
         """Non-keyframe poses ride their reference keyframe's correction."""

@@ -93,6 +93,55 @@ class TestReAnchoring:
         keys = vmap.keys(static)
         assert all(vmap.count(tuple(key)) > 0 for key in keys)
 
+    def test_mismatched_removal_raises(self):
+        """Removing mass a source never contributed is an accounting
+        error and must raise, not silently delete voxels (the old
+        aggregate representation swallowed negative counts)."""
+        vmap = make_map(1.0)
+        vmap.insert(0, [[0.5, 0.5, 0.5]], se3.identity())
+        vmap.insert(1, [[0.5, 0.5, 0.5]], se3.identity())
+        # Corrupt the bookkeeping the way a mismatched removal would:
+        # source 1's recorded points no longer match what it inserted.
+        points, pose = vmap._sources[1]
+        vmap._sources[1] = (np.array([[9.5, 9.5, 9.5]]), pose)
+        with pytest.raises(KeyError):
+            vmap.re_anchor({1: se3.make_transform(np.eye(3), [3.0, 0, 0])})
+
+    def test_repeated_reanchor_cycles_do_not_drift(self, rng):
+        """Many subtract/re-add cycles leave surviving sums exact.
+
+        A keyframe sharing voxels with a static keyframe is re-anchored
+        back and forth many times; per-source contribution storage means
+        the static keyframe's sums are bit-identical afterwards and the
+        final map matches a from-scratch rebuild."""
+        points_static = rng.uniform(-2, 2, size=(300, 3))
+        points_moving = rng.uniform(-2, 2, size=(300, 3))
+        vmap = make_map(0.5)
+        vmap.insert(0, points_static, se3.identity())
+        vmap.insert(1, points_moving, se3.identity())
+        final_pose = se3.identity()
+        for cycle in range(50):
+            final_pose = se3.make_transform(
+                se3.rot_z(0.01 * ((cycle % 7) + 1)),
+                [0.1 * (cycle % 5), -0.1 * (cycle % 3), 0.0],
+            )
+            assert vmap.re_anchor({1: final_pose}) == 1
+        fresh = make_map(0.5)
+        fresh.insert(0, points_static, se3.identity())
+        fresh.insert(1, points_moving, final_pose)
+        assert vmap.n_voxels == fresh.n_voxels
+        assert vmap.n_points == fresh.n_points
+        ours, theirs = vmap.to_cloud(), fresh.to_cloud()
+        order_a = np.lexsort(ours.points.T)
+        order_b = np.lexsort(theirs.points.T)
+        np.testing.assert_allclose(
+            ours.points[order_a], theirs.points[order_b], atol=1e-12
+        )
+        np.testing.assert_array_equal(
+            ours.get_attribute("count")[order_a],
+            theirs.get_attribute("count")[order_b],
+        )
+
     def test_reanchor_matches_fresh_insertion(self, rng):
         """Re-anchoring equals building the map at the new pose."""
         points = rng.uniform(-3, 3, size=(300, 3))
