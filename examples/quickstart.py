@@ -81,7 +81,12 @@ def main(
     print(f"ICP: {result.icp}")
 
     print("\nper-stage timing (KD-tree search dominates — paper Fig. 4):")
-    print(profiler.report(extended=profile))
+    print(
+        profiler.report(
+            extended=profile,
+            search_stats=result.total_search_stats if profile else None,
+        )
+    )
     fractions = profiler.kdtree_fractions()
     print(
         f"\nKD-tree search share of runtime: {100 * fractions['search']:.1f}% "

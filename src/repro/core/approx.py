@@ -31,6 +31,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.ragged import RaggedNeighborhoods
 from repro.core.trace import QueryTrace
 from repro.core.twostage import TwoStageKDTree
 from repro.kdtree.stats import SearchStats
@@ -299,3 +300,21 @@ class ApproximateSearch:
             all_indices.append(indices)
             all_dists.append(dists)
         return all_indices, all_dists
+
+    def radius_batch_csr(
+        self,
+        queries: np.ndarray,
+        r: float,
+        stats: SearchStats | None = None,
+        sort: bool = False,
+    ) -> RaggedNeighborhoods:
+        """Approximate radius search, flattened to the CSR result form.
+
+        Leaders/followers is stateful and processes queries
+        sequentially by design (see above), so the flat-output path is
+        one concatenation over the per-row results — the conversion the
+        other backends eliminate structurally is inherent here, but the
+        *consumers* still receive the uniform CSR type.
+        """
+        all_indices, all_dists = self.radius_batch(queries, r, stats, sort=sort)
+        return RaggedNeighborhoods.from_lists(all_indices, all_dists)

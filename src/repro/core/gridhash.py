@@ -46,6 +46,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.ragged import RaggedNeighborhoods
 from repro.kdtree.stats import SearchStats
 
 __all__ = ["GridHashConfig", "GridHashIndex"]
@@ -188,10 +189,25 @@ class GridHashIndex:
     ) -> tuple[list[np.ndarray], list[np.ndarray]]:
         """Radius search for every row of ``queries`` (ragged lists).
 
+        Thin compatibility wrapper: slices :meth:`radius_batch_csr`'s
+        flat result into per-query lists.
+        """
+        return self.radius_batch_csr(queries, r, stats, sort=sort).to_list_pair()
+
+    def radius_batch_csr(
+        self,
+        queries: np.ndarray,
+        r: float,
+        stats: SearchStats | None = None,
+        sort: bool = False,
+    ) -> RaggedNeighborhoods:
+        """Radius search returning the CSR result natively.
+
         Exact iff ``r <= cell_size`` and no candidate cap triggers; see
         the module docstring.  Fully vectorized: one ``searchsorted``
         over all Q * 3^d probed cells, one flat CSR gather, one fused
-        squared-distance filter.
+        squared-distance filter — the kept flat arrays and their query
+        offsets ARE the result, no per-query lists anywhere.
         """
         queries = self._check_queries(queries)
         if r < 0:
@@ -264,16 +280,15 @@ class GridHashIndex:
             kept_dist = kept_dist[order]
             kept_qid = kept_qid[order]
         per_query = np.bincount(kept_qid, minlength=n_queries)
-        boundaries = np.cumsum(per_query)[:-1]
-        idx_lists = np.split(kept_cand, boundaries)
-        dist_lists = np.split(kept_dist, boundaries)
+        offsets = np.zeros(n_queries + 1, dtype=np.int64)
+        np.cumsum(per_query, out=offsets[1:])
 
         if stats is not None:
             stats.traversal_steps += n_queries * n_slots
             stats.nodes_visited += total
             stats.queries += n_queries
             stats.results_returned += len(kept_cand)
-        return idx_lists, dist_lists
+        return RaggedNeighborhoods(kept_cand, offsets, kept_dist)
 
     def radius(
         self,

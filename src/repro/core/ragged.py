@@ -42,7 +42,9 @@ import numpy as np
 
 __all__ = [
     "RaggedNeighborhoods",
+    "segment_sort_order",
     "csr_radius_select",
+    "csr_radius_select_csr",
     "lexsort_voxel_groups",
     "segment_sum",
     "segment_sum_sequential",
@@ -150,6 +152,37 @@ class RaggedNeighborhoods:
         """Round-trip back to per-segment index lists."""
         return np.split(self.indices, self.offsets[1:-1])
 
+    def to_list_pair(self) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Legacy ragged ``(index_lists, dist_lists)`` view of this CSR.
+
+        The compatibility format of the list-returning ``radius_batch``
+        wrappers: per-segment slices of the flat arrays (views, no
+        copies).  Requires ``distances``.
+        """
+        if self.distances is None:
+            raise ValueError("to_list_pair requires distances")
+        boundaries = self.offsets[1:-1]
+        return (
+            np.split(self.indices, boundaries),
+            np.split(self.distances, boundaries),
+        )
+
+    def sorted_by_distance(self) -> "RaggedNeighborhoods":
+        """New CSR with each segment stably re-ordered by distance.
+
+        Replays the backends' per-row ``np.argsort(dists, kind="stable")``
+        (the ``sort=True`` contract) as one vectorized lexsort over the
+        flat arrays.  Requires ``distances``.
+        """
+        if self.distances is None:
+            raise ValueError("sorted_by_distance requires distances")
+        if self.n_entries == 0:
+            return RaggedNeighborhoods(self.indices, self.offsets, self.distances)
+        order = segment_sort_order(self.distances, self.segment_ids)
+        return RaggedNeighborhoods(
+            self.indices[order], self.offsets, self.distances[order]
+        )
+
     def select(self, segments: np.ndarray) -> "RaggedNeighborhoods":
         """New CSR containing ``segments`` (rows), in the given order.
 
@@ -193,7 +226,21 @@ class RaggedNeighborhoods:
         )
 
 
-def csr_radius_select(
+def segment_sort_order(values: np.ndarray, segment_ids: np.ndarray) -> np.ndarray:
+    """Stable per-segment ascending order of ``values`` as one lexsort.
+
+    ``segment_ids`` must be non-decreasing (CSR flat order).  The
+    returned permutation reorders flat entries so each segment is
+    sorted ascending by its values with original order preserved on
+    ties — bit-identical to running ``np.argsort(v, kind="stable")``
+    per segment, done once for the whole batch (primary key segment,
+    secondary value, position tiebreak).
+    """
+    position = np.arange(len(values), dtype=np.int64)
+    return np.lexsort((position, values, segment_ids))
+
+
+def csr_radius_select_csr(
     indices: np.ndarray,
     offsets: np.ndarray,
     sq_dists: np.ndarray,
@@ -201,7 +248,7 @@ def csr_radius_select(
     rows: np.ndarray,
     r: float,
     sort: bool = False,
-) -> tuple[list[np.ndarray], list[np.ndarray]]:
+) -> RaggedNeighborhoods:
     """Derive a radius-``r`` result from a cached larger-radius CSR.
 
     The nested-radius reuse kernel: given the CSR result of a radius
@@ -213,12 +260,16 @@ def csr_radius_select(
     is bit-identical to a fresh radius-``r`` query of those rows.
     Cached entries arrive in the backends' ascending-index order and
     filtering preserves it; ``sort=True`` applies the backends' stable
-    per-row distance sort.  Returns ragged ``(index_lists, dist_lists)``
-    exactly like ``radius_batch``.
+    per-row distance sort (:func:`segment_sort_order`).  Returns the
+    CSR result natively — no list materialization anywhere.
     """
     rows = np.asarray(rows, dtype=np.int64)
     if len(rows) == 0:
-        return [], []
+        return RaggedNeighborhoods(
+            np.empty(0, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
     counts = np.diff(offsets)[rows]
     sel_offsets = np.zeros(len(rows) + 1, dtype=np.int64)
     np.cumsum(counts, out=sel_offsets[1:])
@@ -232,23 +283,34 @@ def csr_radius_select(
     kept_idx = indices[kept_source]
     kept_dist = dists[kept_source]
     if sort and len(kept_ids):
-        # Per-row stable distance sort: primary key row, secondary
-        # distance, position tiebreak — replays each backend's
-        # ``argsort(dists, kind="stable")`` row by row.
-        order = np.lexsort(
-            (np.arange(len(kept_ids), dtype=np.int64), kept_dist, kept_ids)
-        )
+        order = segment_sort_order(kept_dist, kept_ids)
         kept_idx = kept_idx[order]
         kept_dist = kept_dist[order]
-    splits = np.zeros(len(rows), dtype=np.int64)
-    np.cumsum(
-        np.bincount(kept_ids, minlength=len(rows))[:-1], out=splits[1:]
-    )
-    boundaries = splits[1:]
-    return (
-        np.split(kept_idx, boundaries),
-        np.split(kept_dist, boundaries),
-    )
+    out_offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum(np.bincount(kept_ids, minlength=len(rows)), out=out_offsets[1:])
+    return RaggedNeighborhoods(kept_idx, out_offsets, kept_dist)
+
+
+def csr_radius_select(
+    indices: np.ndarray,
+    offsets: np.ndarray,
+    sq_dists: np.ndarray,
+    dists: np.ndarray,
+    rows: np.ndarray,
+    r: float,
+    sort: bool = False,
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """List-returning wrapper over :func:`csr_radius_select_csr`.
+
+    Returns ragged ``(index_lists, dist_lists)`` exactly like the
+    legacy ``radius_batch`` — per-segment slices of the CSR result.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if len(rows) == 0:
+        return [], []
+    return csr_radius_select_csr(
+        indices, offsets, sq_dists, dists, rows, r, sort=sort
+    ).to_list_pair()
 
 
 def lexsort_voxel_groups(

@@ -42,6 +42,7 @@ import math
 
 import numpy as np
 
+from repro.core.ragged import RaggedNeighborhoods
 from repro.core.trace import LeafVisitRecord, QueryTrace
 from repro.kdtree.stats import SearchStats
 
@@ -577,7 +578,8 @@ class TwoStageKDTree:
     ) -> tuple[list[np.ndarray], list[np.ndarray]]:
         """Radius search for every row of ``queries`` (ragged lists).
 
-        Runs the grouped-by-leaf frontier; with ``trace`` it falls back
+        Thin compatibility wrapper: slices :meth:`radius_batch_csr`'s
+        flat result into per-query lists; with ``trace`` it falls back
         to the sequential per-query path (see :meth:`nn_batch`).
         """
         if trace is not None:
@@ -588,10 +590,31 @@ class TwoStageKDTree:
                 all_indices.append(indices)
                 all_dists.append(dists)
             return all_indices, all_dists
+        return self.radius_batch_csr(queries, r, stats, sort=sort).to_list_pair()
+
+    def radius_batch_csr(
+        self,
+        queries: np.ndarray,
+        r: float,
+        stats: SearchStats | None = None,
+        sort: bool = False,
+    ) -> RaggedNeighborhoods:
+        """Radius search returning the CSR result natively.
+
+        The grouped-by-leaf frontier accumulates every hit flat (query
+        id, original point index, squared distance) and one global
+        lexsort establishes the ascending-index-per-query contract; no
+        per-query list is ever materialized.  Content bit-identical to
+        :meth:`radius_batch`, including the ``sort=True`` stable
+        distance sort (:func:`repro.core.ragged.segment_sort_order`).
+        """
         if r < 0:
             raise ValueError("radius must be non-negative")
         queries = self._check_queries(queries)
-        return self._radius_batch_fast(queries, r, stats, sort)
+        result = self._radius_batch_fast(queries, r, stats)
+        if sort:
+            result = result.sorted_by_distance()
+        return result
 
     def knn_batch(
         self,
@@ -823,13 +846,13 @@ class TwoStageKDTree:
         queries: np.ndarray,
         r: float,
         stats: SearchStats | None,
-        sort: bool,
-    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    ) -> RaggedNeighborhoods:
         n_queries, ndim = queries.shape
         r_sq = r * r
-        found_idx: list[list[np.ndarray]] = [[] for _ in range(n_queries)]
-        found_sq: list[list[np.ndarray]] = [[] for _ in range(n_queries)]
-        visits = bypassed = leaf_pruned = scanned = results = 0
+        hit_q: list[np.ndarray] = []
+        hit_idx: list[np.ndarray] = []
+        hit_sq: list[np.ndarray] = []
+        visits = bypassed = leaf_pruned = scanned = 0
 
         if n_queries and self._root_ref != _NO_CHILD:
             refs = np.full(n_queries, self._root_ref, dtype=np.int64)
@@ -849,10 +872,11 @@ class TwoStageKDTree:
                         orig, sq = self._scan_leaf_block(leaf_id, queries[rows])
                         scanned += sq.size
                         hits = sq <= r_sq
-                        for row in np.nonzero(hits.any(axis=1))[0]:
-                            mask = hits[row]
-                            found_idx[rows[row]].append(orig[mask])
-                            found_sq[rows[row]].append(sq[row][mask])
+                        if hits.any():
+                            rflat, cflat = np.nonzero(hits)
+                            hit_q.append(rows[rflat])
+                            hit_idx.append(orig[cflat])
+                            hit_sq.append(sq[rflat, cflat])
                 inner = ~at_leaf
                 refs_i = refs[inner]
                 q_i = qidx[inner]
@@ -871,11 +895,11 @@ class TwoStageKDTree:
                     break
                 pidx = self._node_point[refs_i]
                 d_sq = self._node_sq_dists(queries[q_i], self._points[pidx])
-                for row in np.nonzero(d_sq <= r_sq)[0]:
-                    found_idx[q_i[row]].append(
-                        np.array([pidx[row]], dtype=np.int64)
-                    )
-                    found_sq[q_i[row]].append(np.array([d_sq[row]]))
+                hit = d_sq <= r_sq
+                if np.any(hit):
+                    hit_q.append(q_i[hit])
+                    hit_idx.append(pidx[hit])
+                    hit_sq.append(d_sq[hit])
                 dim = self._node_dim[refs_i]
                 delta = queries[q_i, dim] - self._node_value[refs_i]
                 left = self._node_left[refs_i]
@@ -895,32 +919,32 @@ class TwoStageKDTree:
                 bound = np.concatenate([far_bound[has_far], b_i[has_near]])
                 contrib = np.concatenate([far_contrib[has_far], c_i[has_near]])
 
-        all_indices: list[np.ndarray] = []
-        all_dists: list[np.ndarray] = []
-        for i in range(n_queries):
-            if found_idx[i]:
-                indices = np.concatenate(found_idx[i]).astype(np.int64)
-                sq_found = np.concatenate(found_sq[i])
-                order = np.argsort(indices, kind="stable")
-                indices = indices[order]
-                dists = np.sqrt(sq_found[order])
-                if sort and len(indices):
-                    order = np.argsort(dists, kind="stable")
-                    indices, dists = indices[order], dists[order]
-            else:
-                indices = np.empty(0, dtype=np.int64)
-                dists = np.empty(0)
-            results += len(indices)
-            all_indices.append(indices)
-            all_dists.append(dists)
+        # One global lexsort replaces the per-query index argsorts:
+        # point indices are unique within a query, so ordering the flat
+        # hits by (query, index) reproduces each row's ascending-index
+        # result exactly.
+        if hit_q:
+            fq = np.concatenate(hit_q)
+            fidx = np.concatenate(hit_idx).astype(np.int64, copy=False)
+            fsq = np.concatenate(hit_sq)
+            order = np.lexsort((fidx, fq))
+            fidx = fidx[order]
+            fdist = np.sqrt(fsq[order])
+            counts = np.bincount(fq, minlength=n_queries)
+        else:
+            fidx = np.empty(0, dtype=np.int64)
+            fdist = np.empty(0)
+            counts = np.zeros(n_queries, dtype=np.int64)
+        offsets = np.zeros(n_queries + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
 
         if stats is not None:
             stats.nodes_visited += visits + scanned
             stats.traversal_steps += visits + bypassed
             stats.pruned_subtrees += bypassed + leaf_pruned
             stats.queries += n_queries
-            stats.results_returned += results
-        return all_indices, all_dists
+            stats.results_returned += len(fidx)
+        return RaggedNeighborhoods(fidx, offsets, fdist)
 
     # ------------------------------------------------------------------
 

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.ragged import RaggedNeighborhoods, segment_sort_order
+
 __all__ = [
     "nn",
     "knn",
@@ -33,6 +35,7 @@ __all__ = [
     "nn_batch",
     "knn_batch",
     "radius_batch",
+    "radius_batch_csr",
     "pairwise_sq_distances",
     "sq_distances",
     "query_chunk",
@@ -241,6 +244,70 @@ def knn_batch(
     return indices, dists
 
 
+def radius_batch_csr(
+    points: np.ndarray,
+    queries: np.ndarray,
+    r: float,
+    sort: bool = False,
+    points_t: np.ndarray | None = None,
+) -> RaggedNeighborhoods:
+    """Vectorized radius search returning the CSR result natively.
+
+    Each chunk's hits already come out flat (``nonzero`` over the
+    raveled mask walks row-major, so hits are grouped by query with
+    ascending point index within each query); chunks concatenate into
+    one flat index/distance pair plus offsets, with no per-row Python
+    loop anywhere.  ``sort=True`` applies the stable per-query distance
+    sort once, via :func:`repro.core.ragged.segment_sort_order`.
+    """
+    points = _as_2d(points)
+    queries = _as_2d(np.atleast_2d(queries))
+    if r < 0:
+        raise ValueError("radius must be non-negative")
+    if points_t is None:
+        points_t = np.ascontiguousarray(points.T)
+    r_sq = r * r
+    n_queries = len(queries)
+    chunk = query_chunk(len(points), n_queries)
+    sq = np.empty((chunk, len(points)))
+    scratch = np.empty((chunk, len(points)))
+    chunk_cols: list[np.ndarray] = []
+    chunk_dists: list[np.ndarray] = []
+    chunk_counts: list[np.ndarray] = []
+    for start in range(0, n_queries, chunk):
+        stop = min(start + chunk, n_queries)
+        c = stop - start
+        block = sq_distances(
+            queries[start:stop], points, sq[:c], scratch[:c], points_t
+        )
+        # 1D nonzero over the raveled mask: 2D nonzero is far slower.
+        flat = np.nonzero((block <= r_sq).ravel())[0]
+        hit_rows = flat // block.shape[1]
+        hit_cols = flat - hit_rows * block.shape[1]
+        chunk_cols.append(hit_cols)
+        chunk_dists.append(np.sqrt(block[hit_rows, hit_cols]))
+        chunk_counts.append(np.bincount(hit_rows, minlength=c))
+    counts = (
+        np.concatenate(chunk_counts)
+        if chunk_counts
+        else np.zeros(n_queries, dtype=np.int64)
+    )
+    offsets = np.zeros(n_queries + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    flat_idx = (
+        np.concatenate(chunk_cols).astype(np.int64, copy=False)
+        if chunk_cols
+        else np.empty(0, dtype=np.int64)
+    )
+    flat_dist = (
+        np.concatenate(chunk_dists) if chunk_dists else np.empty(0, dtype=np.float64)
+    )
+    result = RaggedNeighborhoods(flat_idx, offsets, flat_dist)
+    if sort:
+        result = result.sorted_by_distance()
+    return result
+
+
 def radius_batch(
     points: np.ndarray,
     queries: np.ndarray,
@@ -250,39 +317,9 @@ def radius_batch(
 ) -> tuple[list[np.ndarray], list[np.ndarray]]:
     """Vectorized radius search for every row of ``queries``.
 
-    Returns ragged per-query (indices, distances) lists; indices come
-    back ascending (``sort=True`` re-orders by distance, stable).
+    Thin compatibility wrapper over :func:`radius_batch_csr`: returns
+    ragged per-query (indices, distances) lists sliced from the CSR
+    result; indices come back ascending (``sort=True`` re-orders by
+    distance, stable).
     """
-    points = _as_2d(points)
-    queries = _as_2d(np.atleast_2d(queries))
-    if r < 0:
-        raise ValueError("radius must be non-negative")
-    if points_t is None:
-        points_t = np.ascontiguousarray(points.T)
-    all_indices: list[np.ndarray] = []
-    all_dists: list[np.ndarray] = []
-    r_sq = r * r
-    chunk = query_chunk(len(points), len(queries))
-    sq = np.empty((chunk, len(points)))
-    scratch = np.empty((chunk, len(points)))
-    for start in range(0, len(queries), chunk):
-        stop = min(start + chunk, len(queries))
-        c = stop - start
-        block = sq_distances(
-            queries[start:stop], points, sq[:c], scratch[:c], points_t
-        )
-        # 1D nonzero over the raveled mask: 2D nonzero is far slower.
-        flat = np.nonzero((block <= r_sq).ravel())[0]
-        hit_rows = flat // block.shape[1]
-        hit_cols = flat - hit_rows * block.shape[1]
-        hit_dists = np.sqrt(block[hit_rows, hit_cols])
-        bounds = np.searchsorted(hit_rows, np.arange(c + 1))
-        for row in range(c):
-            sel = hit_cols[bounds[row] : bounds[row + 1]].astype(np.int64)
-            d = hit_dists[bounds[row] : bounds[row + 1]]
-            if sort and len(sel):
-                order = np.argsort(d, kind="stable")
-                sel, d = sel[order], d[order]
-            all_indices.append(sel)
-            all_dists.append(d)
-    return all_indices, all_dists
+    return radius_batch_csr(points, queries, r, sort=sort, points_t=points_t).to_list_pair()

@@ -45,6 +45,13 @@ class SearchStats:
         that way (``cache_hits``).  ``queries - reused_queries`` is the
         fresh-search count, so DSE/accelerator work models can tell
         executed traversals from derived results.
+    ``csr_results``
+        Radius queries whose results were delivered CSR-natively
+        (``radius_batch_csr`` — flat indices/offsets/distances handed
+        to the consumer with no per-query list materialization on the
+        delivery path).  Benchmarks assert this to prove the zero-copy
+        path is actually taken; the legacy list wrapper does not charge
+        it.
     """
 
     nodes_visited: int = 0
@@ -56,6 +63,7 @@ class SearchStats:
     batches: int = 0
     reused_queries: int = 0
     cache_hits: int = 0
+    csr_results: int = 0
 
     def merge(self, other: "SearchStats") -> None:
         """Fold another accumulator into this one."""
@@ -68,6 +76,7 @@ class SearchStats:
         self.batches += other.batches
         self.reused_queries += other.reused_queries
         self.cache_hits += other.cache_hits
+        self.csr_results += other.csr_results
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -80,6 +89,7 @@ class SearchStats:
         self.batches = 0
         self.reused_queries = 0
         self.cache_hits = 0
+        self.csr_results = 0
 
     @property
     def nodes_per_query(self) -> float:

@@ -43,6 +43,7 @@ import heapq
 
 import numpy as np
 
+from repro.core.ragged import RaggedNeighborhoods
 from repro.kdtree.stats import SearchStats
 
 __all__ = ["KDTree"]
@@ -493,18 +494,46 @@ class KDTree:
         sort: bool = False,
         sequential: bool = False,
     ) -> tuple[list[np.ndarray], list[np.ndarray]]:
-        """Radius search for every row of ``queries`` (ragged lists)."""
-        queries = self._check_queries(queries)
-        if r < 0:
-            raise ValueError("radius must be non-negative")
+        """Radius search for every row of ``queries`` (ragged lists).
+
+        Thin compatibility wrapper: slices :meth:`radius_batch_csr`'s
+        flat result into per-query lists (``sequential=True`` pins the
+        pre-rebuild per-query loop instead).
+        """
         if sequential:
+            queries = self._check_queries(queries)
+            if r < 0:
+                raise ValueError("radius must be non-negative")
             all_indices, all_dists = [], []
             for query in queries:
                 indices, dists = self._radius_impl(query, r, stats, sort)
                 all_indices.append(indices)
                 all_dists.append(dists)
             return all_indices, all_dists
-        return self._radius_batch_fast(queries, r, stats, sort)
+        return self.radius_batch_csr(queries, r, stats, sort=sort).to_list_pair()
+
+    def radius_batch_csr(
+        self,
+        queries: np.ndarray,
+        r: float,
+        stats: SearchStats | None = None,
+        sort: bool = False,
+    ) -> RaggedNeighborhoods:
+        """Radius search returning the CSR result natively.
+
+        The frontier sweep already accumulates its hits flat; this
+        entry point returns them without shredding into per-query
+        lists.  Bit-identical content to :meth:`radius_batch` — same
+        ascending-index order, same ``sort=True`` stable distance sort
+        (applied once via :func:`repro.core.ragged.segment_sort_order`).
+        """
+        queries = self._check_queries(queries)
+        if r < 0:
+            raise ValueError("radius must be non-negative")
+        result = self._radius_batch_fast(queries, r, stats)
+        if sort:
+            result = result.sorted_by_distance()
+        return result
 
     # ------------------------------------------------------------------
     # Frontier machinery
@@ -755,8 +784,7 @@ class KDTree:
         queries: np.ndarray,
         r: float,
         stats: SearchStats | None,
-        sort: bool,
-    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    ) -> RaggedNeighborhoods:
         n_queries, ndim = queries.shape
         r_sq = r * r
         hit_q: list[np.ndarray] = []
@@ -810,25 +838,15 @@ class KDTree:
             fidx = np.concatenate(hit_idx)
             fsq = np.concatenate(hit_sq)
             order = np.lexsort((fidx, fq))
-            fq, fidx = fq[order], fidx[order]
+            fidx = fidx[order]
             fdist = np.sqrt(fsq[order])
             counts = np.bincount(fq, minlength=n_queries)
         else:
             fidx = np.empty(0, dtype=np.int64)
             fdist = np.empty(0)
             counts = np.zeros(n_queries, dtype=np.int64)
-        offsets = np.concatenate(([0], np.cumsum(counts)))
-
-        all_indices: list[np.ndarray] = []
-        all_dists: list[np.ndarray] = []
-        for i in range(n_queries):
-            idx_row = fidx[offsets[i] : offsets[i + 1]]
-            dist_row = fdist[offsets[i] : offsets[i + 1]]
-            if sort and len(idx_row):
-                o = np.argsort(dist_row, kind="stable")
-                idx_row, dist_row = idx_row[o], dist_row[o]
-            all_indices.append(idx_row)
-            all_dists.append(dist_row)
+        offsets = np.zeros(n_queries + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
 
         if stats is not None:
             stats.nodes_visited += visits
@@ -836,4 +854,4 @@ class KDTree:
             stats.pruned_subtrees += pruned
             stats.queries += n_queries
             stats.results_returned += len(fidx)
-        return all_indices, all_dists
+        return RaggedNeighborhoods(fidx, offsets, fdist)

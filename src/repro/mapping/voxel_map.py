@@ -15,6 +15,22 @@ mass a source never contributed raises instead of silently emptying
 the voxel.  Spatial queries (nearest / radius) walk only the voxel-key
 neighborhood that can contain hits, the map-level analogue of the
 pipeline's leaf-scan search backends.
+
+Internally voxel coordinates are packed into one signed-21-bit-per-axis
+``int64`` hash key: scalar ints hash faster than coordinate tuples and
+a grouped array of them round-trips to Python lists in one flat
+``tolist``, which is what lets :meth:`VoxelMap.re_anchor` batch all
+moved keyframes through a single vectorized grouping pass.  Each
+source's entire contribution lives in **one shared table**
+``[sums (G, 3), counts (G,), rowmap {key: row}, keys (G,)]`` that every
+voxel the source touches references; a voxel entry is just a pointer
+to its source's table, and the packed voxel key indexes the row.  The
+payoff is in :meth:`VoxelMap.re_anchor`: moving a source mutates its
+table in place — one array swap plus one C-level ``dict(zip(...))``
+rebuild — so the per-voxel Python work shrinks to the *symmetric
+difference* of the old and new voxel-key sets instead of every touched
+voxel (re-binning hundreds of thousands of per-voxel entries was the
+old hot spot).
 """
 
 from __future__ import annotations
@@ -23,11 +39,51 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core import ragged
 from repro.geometry import se3
 from repro.io.pointcloud import PointCloud
 
 __all__ = ["VoxelMapConfig", "VoxelMap"]
+
+# Packed voxel-key layout: three biased 21-bit fields in one int64,
+# most-significant x — packing is monotone in (kx, ky, kz), so sorting
+# packed keys reproduces the lexicographic voxel order exactly.
+_KEY_BITS = 21
+_KEY_BIAS = 1 << (_KEY_BITS - 1)
+_KEY_MASK = (1 << _KEY_BITS) - 1
+
+
+def _pack_keys(keys: np.ndarray) -> np.ndarray:
+    """Pack (N, 3) integer voxel coordinates into (N,) int64 hash keys."""
+    if len(keys) and (
+        int(keys.min()) < -_KEY_BIAS or int(keys.max()) >= _KEY_BIAS
+    ):
+        raise ValueError(
+            f"voxel coordinates exceed the packed +-{_KEY_BIAS} range"
+        )
+    biased = keys + _KEY_BIAS
+    return (
+        (biased[:, 0] << (2 * _KEY_BITS))
+        | (biased[:, 1] << _KEY_BITS)
+        | biased[:, 2]
+    )
+
+
+def _pack_key(kx: int, ky: int, kz: int) -> int:
+    """Scalar form of :func:`_pack_keys` (Python ints, no range check)."""
+    return (
+        ((kx + _KEY_BIAS) << (2 * _KEY_BITS))
+        | ((ky + _KEY_BIAS) << _KEY_BITS)
+        | (kz + _KEY_BIAS)
+    )
+
+
+def _unpack_key(packed: int) -> tuple[int, int, int]:
+    """Inverse of :func:`_pack_key`, for error messages and key dumps."""
+    return (
+        int((packed >> (2 * _KEY_BITS)) - _KEY_BIAS),
+        int(((packed >> _KEY_BITS) & _KEY_MASK) - _KEY_BIAS),
+        int((packed & _KEY_MASK) - _KEY_BIAS),
+    )
 
 
 @dataclass(frozen=True)
@@ -55,8 +111,12 @@ class VoxelMap:
 
     def __init__(self, config: VoxelMapConfig | None = None):
         self.config = config or VoxelMapConfig()
-        # voxel key -> {source id: [sum_of_points (3,), count]}
-        self._voxels: dict[tuple[int, int, int], dict[int, list]] = {}
+        # packed voxel key -> {source id: that source's shared table}
+        self._voxels: dict[int, dict[int, list]] = {}
+        # source id -> [sums (G, 3), counts (G,), rowmap {key: row},
+        # keys (G,)]: the source's whole grouped contribution, one
+        # object shared by every voxel entry that references it.
+        self._tables: dict[int, list] = {}
         # keyframe id -> (local points (N, 3), pose used at insertion)
         self._sources: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._n_points = 0
@@ -76,10 +136,13 @@ class VoxelMap:
 
     def count(self, key: tuple[int, int, int]) -> int:
         """Occupancy count of one voxel (0 when empty)."""
-        contributions = self._voxels.get(key)
+        packed = _pack_key(*key)
+        contributions = self._voxels.get(packed)
         if contributions is None:
             return 0
-        return int(sum(entry[1] for entry in contributions.values()))
+        return int(
+            sum(table[1][table[2][packed]] for table in contributions.values())
+        )
 
     def keys(self, points: np.ndarray) -> np.ndarray:
         """Integer voxel coordinates for an (N, 3) array of points."""
@@ -115,8 +178,18 @@ class VoxelMap:
         are stored per source, the subtract/re-add cycle rebuilds the
         moved keyframe's voxel sums exactly and cannot perturb the
         sums of keyframes that stayed put.
+
+        All moved keyframes are re-binned in **one** grouped
+        subtract/re-add cycle (:meth:`_apply`): their old-pose and
+        new-pose voxel groups come from two batched sort passes, each
+        source's shared table is swapped to the new grouping in place
+        (which retargets every voxel that references it at once), and
+        per-voxel dict updates run only over the symmetric difference
+        of the old and new key sets.  Sums are bit-identical to the
+        per-source cycle because every group is a contiguous
+        stably-sorted run of one source's points.
         """
-        moved = 0
+        moves = []
         for source_id, new_pose in poses.items():
             if source_id not in self._sources:
                 continue
@@ -127,81 +200,246 @@ class VoxelMap:
                 and np.degrees(rotation) < self.config.reanchor_rotation_tol_deg
             ):
                 continue
-            self._subtract(source_id, local_points, old_pose)
-            new_pose = np.array(new_pose, dtype=np.float64)
+            moves.append(
+                (source_id, local_points, old_pose, np.array(new_pose, dtype=np.float64))
+            )
+        if not moves:
+            return 0
+        self._apply(moves)
+        for source_id, local_points, _, new_pose in moves:
             self._sources[source_id] = (local_points, new_pose)
-            self._add(source_id, local_points, new_pose)
-            moved += 1
-        return moved
+        return len(moves)
 
     def _remove(self, source_id: int) -> None:
         local_points, pose = self._sources.pop(source_id)
         self._subtract(source_id, local_points, pose)
 
     def _grouped(self, local_points: np.ndarray, pose: np.ndarray):
-        """Yield ``(voxel key, point sum, count)`` per touched voxel.
+        """Voxel groups of one contribution: ``(keys, sums, counts)``.
 
-        Per-voxel sums and counts come from one ``reduceat`` pass over
-        the lexsorted world-frame points (the ragged-kernel form of the
-        binning).  Deterministic: the same points and pose always
-        produce the same groups, which is what lets removal re-derive
-        exactly the voxels an insertion touched.
+        ``keys`` is the (G,) int64 array of packed voxel keys (one per
+        touched voxel, ascending), ``sums`` the matching ``(G, 3)``
+        per-voxel point sums from one ``reduceat`` pass over the stably
+        sorted world-frame points, ``counts`` the (G,) int64 occupancy
+        counts.  Deterministic: the same points and pose always produce
+        the same groups, which is what lets removal re-derive exactly
+        the voxels an insertion touched.
         """
         world = se3.apply_transform(pose, local_points)
         if len(world) == 0:
-            return
-        order, sorted_keys, starts, counts = ragged.lexsort_voxel_groups(
-            self.keys(world)
-        )
-        sorted_points = world[order]
-        group_sums = np.add.reduceat(sorted_points, starts, axis=0)
-        yield from zip(
-            map(tuple, sorted_keys[starts].tolist()), group_sums, counts.tolist()
-        )
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty((0, 3)),
+                np.empty(0, dtype=np.int64),
+            )
+        packed = _pack_keys(self.keys(world))
+        order = np.argsort(packed, kind="stable")
+        sorted_keys = packed[order]
+        boundary = np.empty(len(order), dtype=bool)
+        boundary[0] = True
+        boundary[1:] = np.diff(sorted_keys) != 0
+        starts = np.nonzero(boundary)[0]
+        counts = np.diff(np.append(starts, len(order)))
+        sums = np.add.reduceat(world[order], starts, axis=0)
+        return sorted_keys[starts], sums, counts
+
+    @staticmethod
+    def _make_table(keys: np.ndarray, sums: np.ndarray, counts: np.ndarray) -> list:
+        """A source's shared contribution table for one grouping."""
+        return [sums, counts, dict(zip(keys.tolist(), range(len(keys)))), keys]
 
     def _add(self, source_id: int, local_points: np.ndarray, pose: np.ndarray) -> None:
-        for key, group_sum, count in self._grouped(local_points, pose):
-            self._voxels.setdefault(key, {})[source_id] = [group_sum, int(count)]
-            self._n_points += int(count)
+        keys, sums, counts = self._grouped(local_points, pose)
+        table = self._make_table(keys, sums, counts)
+        self._tables[source_id] = table
+        voxels = self._voxels
+        for key in keys.tolist():
+            contributions = voxels.get(key)
+            if contributions is None:
+                voxels[key] = {source_id: table}
+            else:
+                contributions[source_id] = table
+        self._n_points += int(counts.sum())
 
-    def _subtract(self, source_id: int, local_points: np.ndarray, pose: np.ndarray) -> None:
-        """Delete one source's per-voxel entries (exact, no float math).
+    def _validate_grouping(self, source_id: int, keys: np.ndarray, counts: np.ndarray):
+        """Check a recomputed grouping against the source's stored table.
 
-        Raises ``KeyError`` if the source has no contribution in a
-        voxel it claims to have touched — the accounting error the old
+        The recorded ``(points, pose)`` must reproduce the stored
+        grouping exactly (grouping is deterministic), so any mismatch
+        is an accounting error: ``KeyError`` when the source claims a
+        voxel its table never touched (or vice versa), ``ValueError``
+        when a shared voxel's count disagrees — the errors the old
         aggregate representation silently swallowed by deleting voxels
         whose count went negative.
         """
-        for key, _, count in self._grouped(local_points, pose):
-            contributions = self._voxels.get(key)
+        table = self._tables.get(source_id)
+        if table is None:
+            raise KeyError(f"source {source_id} has no contribution table")
+        if not np.array_equal(keys, table[3]):
+            rowmap = table[2]
+            for key in keys.tolist():
+                if key not in rowmap:
+                    raise KeyError(
+                        f"source {source_id} has no contribution in voxel "
+                        f"{_unpack_key(key)}"
+                    )
+            raise KeyError(
+                f"source {source_id}: recorded points touch fewer voxels "
+                "than its contribution table"
+            )
+        if not np.array_equal(counts, table[1]):
+            row = int(np.nonzero(counts != table[1])[0][0])
+            raise ValueError(
+                f"voxel {_unpack_key(int(keys[row]))}: source {source_id} "
+                f"removing {int(counts[row])} points but contributed "
+                f"{int(table[1][row])}"
+            )
+        return table
+
+    def _subtract(self, source_id: int, local_points: np.ndarray, pose: np.ndarray) -> None:
+        """Delete one source's voxel entries and table (exact, no float math)."""
+        keys, _, counts = self._grouped(local_points, pose)
+        self._validate_grouping(source_id, keys, counts)
+        voxels = self._voxels
+        for key in keys.tolist():
+            contributions = voxels.get(key)
             if contributions is None or source_id not in contributions:
                 raise KeyError(
-                    f"source {source_id} has no contribution in voxel {key}"
+                    f"source {source_id} has no contribution in voxel "
+                    f"{_unpack_key(key)}"
                 )
-            entry = contributions.pop(source_id)
-            if entry[1] != int(count):
-                raise ValueError(
-                    f"voxel {key}: source {source_id} removing {int(count)} "
-                    f"points but contributed {entry[1]}"
-                )
-            self._n_points -= entry[1]
+            del contributions[source_id]
             if not contributions:
-                del self._voxels[key]
+                del voxels[key]
+        del self._tables[source_id]
+        self._n_points -= int(counts.sum())
+
+    def _grouped_moves(self, moves: list, side: int, with_sums: bool = True):
+        """Voxel groups of every move's old (0) or new (1) pose, batched.
+
+        Returns ``(slots, keys, sums, counts)`` — one row per touched
+        ``(move slot, voxel)`` pair, sorted by (slot, packed key).  One
+        lexsort and one ``reduceat`` cover all moved sources; each
+        group is a contiguous run of a single source's points in their
+        stable per-source order, so its sum is bit-identical to the
+        per-source :meth:`_grouped` pass.  ``with_sums=False`` skips
+        the ``reduceat`` for the old side, where only keys and counts
+        feed validation.
+        """
+        key_parts, point_parts, slot_parts = [], [], []
+        for slot, (_, local_points, old_pose, new_pose) in enumerate(moves):
+            world = se3.apply_transform(
+                old_pose if side == 0 else new_pose, local_points
+            )
+            if len(world) == 0:
+                continue
+            key_parts.append(_pack_keys(self.keys(world)))
+            point_parts.append(world)
+            slot_parts.append(np.full(len(world), slot, dtype=np.int64))
+        if not key_parts:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty((0, 3)),
+                np.empty(0, dtype=np.int64),
+            )
+        keys = np.concatenate(key_parts)
+        slots = np.concatenate(slot_parts)
+        order = np.lexsort((keys, slots))
+        sorted_keys = keys[order]
+        sorted_slots = slots[order]
+        boundary = np.empty(len(order), dtype=bool)
+        boundary[0] = True
+        boundary[1:] = (np.diff(sorted_slots) != 0) | (np.diff(sorted_keys) != 0)
+        starts = np.nonzero(boundary)[0]
+        counts = np.diff(np.append(starts, len(order)))
+        if with_sums:
+            points = np.concatenate(point_parts)
+            sums = np.add.reduceat(points[order], starts, axis=0)
+        else:
+            sums = np.empty((0, 3))
+        return sorted_slots[starts], sorted_keys[starts], sums, counts
+
+    def _apply(self, moves: list) -> None:
+        """One grouped subtract/re-add cycle over all moved keyframes.
+
+        The old-pose and new-pose voxel groups come from two batched
+        sort passes.  Per moved source, the recomputed old grouping is
+        validated against its stored table
+        (:meth:`_validate_grouping`), the table is swapped to the new
+        grouping **in place** — every voxel referencing it sees the
+        move at once, no per-voxel visits — and only the symmetric
+        difference of the old and new key sets pays per-voxel dict
+        updates (pops on vacated voxels, inserts on newly occupied
+        ones).
+        """
+        old_slots, old_keys, _, old_counts = self._grouped_moves(
+            moves, 0, with_sums=False
+        )
+        new_slots, new_keys, new_sums, new_counts = self._grouped_moves(moves, 1)
+
+        voxels = self._voxels
+        delta = 0
+        for slot, (source_id, _, _, _) in enumerate(moves):
+            old_lo, old_hi = np.searchsorted(old_slots, [slot, slot + 1])
+            new_lo, new_hi = np.searchsorted(new_slots, [slot, slot + 1])
+            keys_before = old_keys[old_lo:old_hi]
+            keys_after = new_keys[new_lo:new_hi]
+            table = self._validate_grouping(
+                source_id, keys_before, old_counts[old_lo:old_hi]
+            )
+            delta += int(new_counts[new_lo:new_hi].sum()) - int(table[1].sum())
+
+            vacated = keys_before[
+                ~np.isin(keys_before, keys_after, assume_unique=True)
+            ]
+            occupied = keys_after[
+                ~np.isin(keys_after, keys_before, assume_unique=True)
+            ]
+            # Swap the shared table to the new grouping: rows reindex
+            # into this move's slice, and the rowmap rebuild is one
+            # C-level dict(zip(...)) instead of a per-voxel loop.
+            table[0] = new_sums[new_lo:new_hi]
+            table[1] = new_counts[new_lo:new_hi]
+            table[2] = dict(zip(keys_after.tolist(), range(len(keys_after))))
+            table[3] = keys_after
+
+            for key in vacated.tolist():
+                contributions = voxels.get(key)
+                if contributions is None or source_id not in contributions:
+                    raise KeyError(
+                        f"source {source_id} has no contribution in voxel "
+                        f"{_unpack_key(key)}"
+                    )
+                del contributions[source_id]
+                if not contributions:
+                    del voxels[key]
+
+            for key in occupied.tolist():
+                contributions = voxels.get(key)
+                if contributions is None:
+                    voxels[key] = {source_id: table}
+                else:
+                    contributions[source_id] = table
+
+        self._n_points += delta
 
     # ------------------------------------------------------------------
     # Fused views and spatial queries.
     # ------------------------------------------------------------------
 
     @staticmethod
-    def _fused(contributions: dict[int, list]) -> np.ndarray:
-        """One voxel's fused centroid from its per-source entries."""
-        entries = iter(contributions.values())
-        first = next(entries)
-        point_sum = first[0]
-        count = first[1]
-        for entry in entries:
-            point_sum = point_sum + entry[0]
-            count += entry[1]
+    def _fused(key: int, contributions: dict[int, list]) -> np.ndarray:
+        """One voxel's fused centroid from its sources' shared tables."""
+        tables = iter(contributions.values())
+        first = next(tables)
+        row = first[2][key]
+        point_sum = first[0][row]
+        count = first[1][row]
+        for table in tables:
+            row = table[2][key]
+            point_sum = point_sum + table[0][row]
+            count = count + table[1][row]
         return point_sum / count
 
     def fused_points(self) -> np.ndarray:
@@ -209,15 +447,18 @@ class VoxelMap:
         if not self._voxels:
             return np.empty((0, 3))
         return np.array(
-            [self._fused(contributions) for contributions in self._voxels.values()]
+            [
+                self._fused(key, contributions)
+                for key, contributions in self._voxels.items()
+            ]
         )
 
     def to_cloud(self) -> PointCloud:
         """The fused map as a ``PointCloud`` with a ``count`` channel."""
         counts = np.array(
             [
-                sum(entry[1] for entry in contributions.values())
-                for contributions in self._voxels.values()
+                sum(table[1][table[2][key]] for table in contributions.values())
+                for key, contributions in self._voxels.items()
             ],
             dtype=np.int64,
         )
@@ -234,17 +475,24 @@ class VoxelMap:
             raise ValueError("radius must be non-negative")
         query = np.asarray(query, dtype=np.float64).reshape(3)
         size = self.config.voxel_size
-        lo = np.floor((query - r) / size).astype(np.int64)
-        hi = np.floor((query + r) / size).astype(np.int64)
+        # Clamp to the packable key range: no voxel exists outside it,
+        # and packing out-of-range cells could alias in-range keys.
+        lo = np.clip(
+            np.floor((query - r) / size), -_KEY_BIAS, _KEY_BIAS - 1
+        ).astype(np.int64)
+        hi = np.clip(
+            np.floor((query + r) / size), -_KEY_BIAS, _KEY_BIAS - 1
+        ).astype(np.int64)
         hits: list[np.ndarray] = []
         dists: list[float] = []
         for kx in range(int(lo[0]), int(hi[0]) + 1):
             for ky in range(int(lo[1]), int(hi[1]) + 1):
                 for kz in range(int(lo[2]), int(hi[2]) + 1):
-                    contributions = self._voxels.get((kx, ky, kz))
+                    packed = _pack_key(kx, ky, kz)
+                    contributions = self._voxels.get(packed)
                     if contributions is None:
                         continue
-                    fused = self._fused(contributions)
+                    fused = self._fused(packed, contributions)
                     dist = float(np.linalg.norm(fused - query))
                     if dist <= r:
                         hits.append(fused)
@@ -280,7 +528,13 @@ class VoxelMap:
 
     def _span(self) -> float:
         """Diagonal of the occupied-voxel bounding box, in meters."""
-        keys = np.array(list(self._voxels.keys()), dtype=np.float64)
+        packed = np.fromiter(
+            self._voxels, dtype=np.int64, count=len(self._voxels)
+        )
+        keys = np.empty((len(packed), 3))
+        keys[:, 0] = (packed >> (2 * _KEY_BITS)) - _KEY_BIAS
+        keys[:, 1] = ((packed >> _KEY_BITS) & _KEY_MASK) - _KEY_BIAS
+        keys[:, 2] = (packed & _KEY_MASK) - _KEY_BIAS
         return float(
             np.linalg.norm((keys.max(axis=0) - keys.min(axis=0) + 1.0))
             * self.config.voxel_size

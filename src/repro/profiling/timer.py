@@ -123,12 +123,17 @@ class StageProfiler:
             mine.kdtree_construction += timing.kdtree_construction
             mine.calls += timing.calls
 
-    def report(self, extended: bool = False) -> str:
+    def report(self, extended: bool = False, search_stats=None) -> str:
         """Human-readable table of stage timings.
 
         With ``extended``, adds the non-KD-tree remainder (``other`` —
         the stage's aggregation kernels) and each stage's share of the
         total, the view ``examples/quickstart.py --profile`` prints.
+        Passing a :class:`~repro.kdtree.stats.SearchStats` as
+        ``search_stats`` (extended mode only) appends a counters line
+        showing how the run's radius queries were delivered:
+        CSR-natively (``csr``), from the nested-radius reuse cache
+        (``reused``/``cache hits``), or total.
         """
         header = f"{'stage':<28}{'total(s)':>10}{'kd-search':>11}{'kd-build':>10}"
         if extended:
@@ -157,4 +162,11 @@ class StageProfiler:
             )
             footer += f"{other:>10.4f}{(100.0 if total > 0 else 0.0):>7.1f}%"
         lines.append(footer)
+        if extended and search_stats is not None:
+            lines.append(
+                f"queries: {search_stats.queries} "
+                f"(csr {search_stats.csr_results}, "
+                f"reused {search_stats.reused_queries}, "
+                f"cache hits {search_stats.cache_hits})"
+            )
         return "\n".join(lines)

@@ -58,12 +58,11 @@ def fpfh_descriptors(
     points = cloud.points
     normals = cloud.normals
 
-    # Pass 1: one batched radius search over all keypoints, flattened
-    # to CSR with the self-matches dropped.
-    kp_neighbors, kp_dists = searcher.radius_batch(
+    # Pass 1: one batched radius search over all keypoints, delivered
+    # CSR-natively with the self-matches dropped.
+    kp_ragged = searcher.radius_batch_csr(
         points[keypoint_indices], radius, self_indices=keypoint_indices
     )
-    kp_ragged = RaggedNeighborhoods.from_lists(kp_neighbors, kp_dists)
     kp_ragged = kp_ragged.mask(
         kp_ragged.indices != keypoint_indices[kp_ragged.segment_ids]
     )
@@ -77,10 +76,9 @@ def fpfh_descriptors(
     extra = np.setdiff1d(needed, keypoint_indices)
     extra_ragged = RaggedNeighborhoods.from_lists([], [])
     if len(extra):
-        extra_neighbors, extra_dists = searcher.radius_batch(
+        extra_ragged = searcher.radius_batch_csr(
             points[extra], radius, self_indices=extra
         )
-        extra_ragged = RaggedNeighborhoods.from_lists(extra_neighbors, extra_dists)
         extra_ragged = extra_ragged.mask(
             extra_ragged.indices != extra[extra_ragged.segment_ids]
         )

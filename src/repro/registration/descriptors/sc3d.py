@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.ragged import RaggedNeighborhoods, segment_histogram
+from repro.core.ragged import segment_histogram
 from repro.io.pointcloud import PointCloud
 from repro.registration.descriptors.shot import shot_lrf_batch
 from repro.registration.search import NeighborSearcher
@@ -59,12 +59,11 @@ def sc3d_descriptors(
         np.linspace(np.log(min_radius), np.log(radius), _RADIAL_BINS + 1)
     )
 
-    # One batched support search, flattened to CSR with self-matches
-    # and sub-min_radius neighbors dropped.
-    all_neighbors, all_dists = searcher.radius_batch(
+    # One batched support search, delivered CSR-natively with
+    # self-matches and sub-min_radius neighbors dropped.
+    ragged = searcher.radius_batch_csr(
         points[keypoint_indices], radius, self_indices=keypoint_indices
     )
-    ragged = RaggedNeighborhoods.from_lists(all_neighbors, all_dists)
     ragged = ragged.mask(
         (ragged.indices != keypoint_indices[ragged.segment_ids])
         & (ragged.distances >= min_radius)
@@ -78,16 +77,11 @@ def sc3d_descriptors(
     unique_neighbors = np.unique(ragged.indices[contributing])
     density = np.ones(len(points))
     if len(unique_neighbors):
-        close_lists, _ = searcher.radius_batch(
+        close = searcher.radius_batch_csr(
             points[unique_neighbors], min_radius * 2, self_indices=unique_neighbors
         )
         density[unique_neighbors] = np.maximum(
-            np.fromiter(
-                (len(close) for close in close_lists),
-                dtype=np.float64,
-                count=len(close_lists),
-            ),
-            1.0,
+            close.counts.astype(np.float64), 1.0
         )
 
     # Align each frame's z-axis ("north pole") with the normal; fix the

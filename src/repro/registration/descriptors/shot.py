@@ -131,12 +131,11 @@ def shot_descriptors(
     points = cloud.points
     normals = cloud.normals
 
-    # One batched radius search, flattened to CSR (self-matches
+    # One batched radius search, delivered CSR-natively (self-matches
     # dropped); LRFs, binning, and histograms are batched kernels.
-    all_neighbors, all_dists = searcher.radius_batch(
+    ragged = searcher.radius_batch_csr(
         points[keypoint_indices], radius, self_indices=keypoint_indices
     )
-    ragged = RaggedNeighborhoods.from_lists(all_neighbors, all_dists)
     ragged = ragged.mask(ragged.indices != keypoint_indices[ragged.segment_ids])
     valid = ragged.counts >= 5
 

@@ -15,9 +15,13 @@ independently — dense stages (NE, RPCE) to demonstrate robustness,
 sparse KPCE to demonstrate fragility.
 
 Each injector exposes both scalar hooks (``nn``/``knn``/``radius``) and
-batched hooks (``nn_batch``/``knn_batch``/``radius_batch``) so degraded
-stages ride the batch query layer at full speed; the batched hooks
-post-process the backend's batched results identically, row by row.
+batched hooks (``nn_batch``/``knn_batch``/``radius_batch``/
+``radius_batch_csr``) so degraded stages ride the batch query layer at
+full speed; the batched hooks post-process the backend's batched
+results identically, row by row.  The CSR hooks keep results in the
+flat :class:`~repro.core.ragged.RaggedNeighborhoods` form end-to-end —
+the shell filter is one boolean mask over the flat distances rather
+than a per-row loop.
 """
 
 from __future__ import annotations
@@ -50,6 +54,9 @@ class IdentityInjector:
 
     def radius_batch(self, index, queries, r, stats, sort=False):
         return index.radius_batch(queries, r, stats, sort=sort)
+
+    def radius_batch_csr(self, index, queries, r, stats, sort=False):
+        return index.radius_batch_csr(queries, r, stats, sort=sort)
 
 
 @dataclass(frozen=True)
@@ -100,6 +107,9 @@ class KthNeighborInjector:
     def radius_batch(self, index, queries, r, stats, sort=False):
         return index.radius_batch(queries, r, stats, sort=sort)
 
+    def radius_batch_csr(self, index, queries, r, stats, sort=False):
+        return index.radius_batch_csr(queries, r, stats, sort=sort)
+
 
 @dataclass(frozen=True)
 class ShellRadiusInjector:
@@ -135,12 +145,10 @@ class ShellRadiusInjector:
         return index.knn_batch(queries, k, stats)
 
     def radius_batch(self, index, queries, r, stats, sort=False):
-        all_indices, all_dists = index.radius_batch(
-            queries, self.r2, stats, sort=sort
-        )
-        out_indices, out_dists = [], []
-        for indices, dists in zip(all_indices, all_dists):
-            mask = dists >= self.r1
-            out_indices.append(indices[mask])
-            out_dists.append(dists[mask])
-        return out_indices, out_dists
+        return self.radius_batch_csr(
+            index, queries, r, stats, sort=sort
+        ).to_list_pair()
+
+    def radius_batch_csr(self, index, queries, r, stats, sort=False):
+        result = index.radius_batch_csr(queries, self.r2, stats, sort=sort)
+        return result.mask(result.distances >= self.r1)

@@ -11,11 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.ragged import (
-    RaggedNeighborhoods,
-    batched_eigh,
-    gathered_moment_covariances,
-)
+from repro.core.ragged import batched_eigh, gathered_moment_covariances
 from repro.io.pointcloud import PointCloud
 from repro.registration.search import NeighborSearcher
 
@@ -63,13 +59,12 @@ def harris_keypoints(
     normals = cloud.normals
 
     # One batched radius search (nested-radius reusable: the queries
-    # are the indexed points themselves), then the normal-covariance
-    # structure tensors of every neighborhood assembled and decomposed
-    # at once.
-    all_neighbors, _ = searcher.radius_batch(
+    # are the indexed points themselves), delivered CSR-natively, then
+    # the normal-covariance structure tensors of every neighborhood
+    # assembled and decomposed at once.
+    ragged = searcher.radius_batch_csr(
         points, radius, self_indices=np.arange(len(points))
     )
-    ragged = RaggedNeighborhoods.from_lists(all_neighbors)
     valid = ragged.counts >= 5
 
     # Neighbor normals are re-expressed relative to the center point's

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.ragged import RaggedNeighborhoods, segment_max, segment_min
+from repro.core.ragged import segment_max, segment_min
 from repro.io.pointcloud import PointCloud
 from repro.registration.search import NeighborSearcher
 
@@ -56,14 +56,14 @@ def sift_keypoints(
     scales = sorted(set(scales))
 
     # Smooth the signal at every scale with Gaussian-weighted neighbors.
-    # One batched radius search at the widest support covers every scale;
-    # flattened to CSR, each scale's smoothing pass is two bincounts.
+    # One batched radius search at the widest support covers every
+    # scale; delivered CSR-natively, each scale's smoothing pass is two
+    # bincounts over the flat arrays.
     smoothed = np.empty((len(scales), n))
     max_radius = 2.0 * scales[-1]
-    cache_idx, cache_dist = searcher.radius_batch(
+    ragged = searcher.radius_batch_csr(
         points, max_radius, self_indices=np.arange(n)
     )
-    ragged = RaggedNeighborhoods.from_lists(cache_idx, cache_dist)
     flat_idx, flat_dist = ragged.indices, ragged.distances
     segment_ids = ragged.segment_ids
     for s, sigma in enumerate(scales):

@@ -80,14 +80,14 @@ def estimate_normals(
     viewpoint = np.asarray(config.orient_towards, dtype=np.float64)
 
     # One batched radius search for the whole stage (the heaviest search
-    # consumer in Fig. 4 issues a single call instead of n), flattened
-    # to CSR so every aggregation below is one dense batched kernel.
-    # The queries are the indexed points themselves (``self_indices``),
-    # making this the filling/reusing call of the nested-radius cache.
-    all_neighbors, _ = searcher.radius_batch(
+    # consumer in Fig. 4 issues a single call instead of n), delivered
+    # CSR-natively so every aggregation below is one dense batched
+    # kernel with no per-query list round-trip.  The queries are the
+    # indexed points themselves (``self_indices``), making this the
+    # filling/reusing call of the nested-radius cache.
+    ragged = searcher.radius_batch_csr(
         points, config.radius, self_indices=np.arange(len(points))
     )
-    ragged = RaggedNeighborhoods.from_lists(all_neighbors)
     valid = ragged.counts >= config.min_neighbors
 
     if config.method == "plane_svd":

@@ -18,21 +18,30 @@ Batch query layer
 -----------------
 Pipeline stages issue **one batched call per stage** — ``nn_batch``,
 ``knn_batch`` (rectangular ``(Q, min(k, n))`` results), and
-``radius_batch`` (ragged per-query lists) — the software analogue of
-the accelerator's data-parallel PE array.  Each backend implements the
-batch entry points natively: fully vectorized chunked scans for
-brute-force, grouped-by-leaf scans behind a vectorized top-tree
-frontier for the two-stage tree, a tight loop for the canonical
-KD-tree (whose pruned traversal is inherently sequential — the very
-bottleneck the paper targets), and sequential leader-state updates for
-the approximate search.  The wrapper charges the profiler once per
-batch and counts one ``SearchStats.batches`` increment per call;
-``queries``/``results_returned`` stay exact per query, while the work
-counters (node visits, pruning) reflect the schedule actually executed
-— identical to the scalar loop for radius batches, within a percent or
-so for the two-stage NN frontier (see :mod:`repro.core.twostage`).
-Batched *results* are bit-identical to issuing the scalar methods row
-by row.
+``radius_batch_csr`` (one flat
+:class:`~repro.core.ragged.RaggedNeighborhoods` in CSR form) — the
+software analogue of the accelerator's data-parallel PE array.  Each
+backend implements the batch entry points natively: fully vectorized
+chunked scans for brute-force, grouped-by-leaf scans behind a
+vectorized top-tree frontier for the two-stage tree, a tight loop for
+the canonical KD-tree (whose pruned traversal is inherently sequential
+— the very bottleneck the paper targets), and sequential leader-state
+updates for the approximate search.  Radius results travel CSR
+end-to-end: every backend *produces* flat ``indices``/``offsets``/
+``distances`` (with any requested per-segment distance sort done once
+by a global lexsort), the reuse cache and injectors pass the CSR form
+through unchanged, and the front-end consumers gather from it directly
+— no per-query Python lists anywhere on the hot path.  The legacy
+``radius_batch`` survives as a thin wrapper that slices the CSR result
+into per-query lists at the delivery edge.  The wrapper charges the
+profiler once per batch and counts one ``SearchStats.batches``
+increment per call; ``queries``/``results_returned`` stay exact per
+query (CSR-delivered queries additionally tick ``csr_results``), while
+the work counters (node visits, pruning) reflect the schedule actually
+executed — identical to the scalar loop for radius batches, within a
+percent or so for the two-stage NN frontier (see
+:mod:`repro.core.twostage`).  Batched *results* are bit-identical to
+issuing the scalar methods row by row.
 
 Nested-radius reuse
 -------------------
@@ -67,7 +76,11 @@ import numpy as np
 
 from repro.core.approx import ApproximateSearch, ApproximateSearchConfig
 from repro.core.gridhash import GridHashConfig, GridHashIndex
-from repro.core.ragged import csr_radius_select
+from repro.core.ragged import (
+    RaggedNeighborhoods,
+    csr_radius_select,
+    csr_radius_select_csr,
+)
 from repro.core.twostage import TwoStageKDTree
 from repro.kdtree import bruteforce
 from repro.kdtree.stats import SearchStats
@@ -169,9 +182,14 @@ class _BruteForceIndex:
         return indices, dists
 
     def radius_batch(self, queries, r, stats=None, sort=False):
-        indices, dists = bruteforce.radius_batch(self._points, queries, r, sort=sort, points_t=self._points_t)
-        self._charge(stats, len(indices), sum(len(i) for i in indices))
-        return indices, dists
+        return self.radius_batch_csr(queries, r, stats, sort=sort).to_list_pair()
+
+    def radius_batch_csr(self, queries, r, stats=None, sort=False):
+        result = bruteforce.radius_batch_csr(
+            self._points, queries, r, sort=sort, points_t=self._points_t
+        )
+        self._charge(stats, result.n_segments, result.n_entries)
+        return result
 
 
 # Flat neighbor pairs per chunk when recomputing squared distances at
@@ -223,25 +241,13 @@ class RadiusReuseCache:
         beyond its own requested radius that later stages will reuse.
         """
         points = self.index.points
-        idx_lists, dist_lists = self.index.radius_batch(
-            points, self.max_radius, stats
-        )
-        counts = np.fromiter(
-            (len(lst) for lst in idx_lists), dtype=np.int64, count=len(idx_lists)
-        )
-        offsets = np.zeros(len(counts) + 1, dtype=np.int64)
-        np.cumsum(counts, out=offsets[1:])
-        total = int(offsets[-1])
-        indices = (
-            np.concatenate(idx_lists) if total else np.empty(0, dtype=np.int64)
-        )
-        dists = (
-            np.concatenate(dist_lists) if total else np.empty(0, dtype=np.float64)
-        )
+        result = self.index.radius_batch_csr(points, self.max_radius, stats)
+        indices, offsets, dists = result.indices, result.offsets, result.distances
+        total = result.n_entries
         # Recompute the backends' squared distances (per-coordinate
         # accumulation — every exact backend's acceptance operand) for
         # the exact-filter predicate, chunked to bound transient memory.
-        owner = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+        owner = result.segment_ids
         sq = np.empty(total, dtype=np.float64)
         for lo in range(0, total, _REUSE_BLOCK):
             hi = min(lo + _REUSE_BLOCK, total)
@@ -259,6 +265,20 @@ class RadiusReuseCache:
     ) -> tuple[list[np.ndarray], list[np.ndarray]]:
         """Radius-``r`` result for index ``rows``, filtered from the cache."""
         return csr_radius_select(
+            self._indices,
+            self._offsets,
+            self._sq_dists,
+            self._dists,
+            rows,
+            r,
+            sort=sort,
+        )
+
+    def serve_csr(
+        self, rows: np.ndarray, r: float, sort: bool = False
+    ) -> RaggedNeighborhoods:
+        """Like :meth:`serve` but CSR in, CSR out — no list materialization."""
+        return csr_radius_select_csr(
             self._indices,
             self._offsets,
             self._sq_dists,
@@ -387,32 +407,89 @@ class NeighborSearcher:
     ) -> tuple[list[np.ndarray], list[np.ndarray]]:
         """Radius search for every row of ``queries``: ragged lists.
 
+        Thin compatibility wrapper: runs the CSR-native path of
+        :meth:`radius_batch_csr` and slices the flat result into
+        per-query lists.  Because the slicing happens *here*, on the
+        delivery edge, the queries are not counted as CSR-delivered
+        (``stats.csr_results`` stays untouched); all other counters are
+        charged identically to the CSR entry point.
+        """
+        start = time.perf_counter()
+        result, _ = self._radius_batch_impl(queries, r, sort, self_indices)
+        self.stats.batches += 1
+        if self._profiler is not None:
+            self._profiler.charge_search(time.perf_counter() - start)
+        return result.to_list_pair()
+
+    def radius_batch_csr(
+        self,
+        queries: np.ndarray,
+        r: float,
+        sort: bool = False,
+        self_indices: np.ndarray | None = None,
+    ) -> RaggedNeighborhoods:
+        """Radius search for every row of ``queries``, CSR end-to-end.
+
+        Returns the backend's :class:`RaggedNeighborhoods` directly —
+        flat indices/offsets/distances, never materialized as per-query
+        lists anywhere between the index and the consumer.  Entries per
+        segment follow the backend's radius order (ascending index), or
+        ascending distance when ``sort=True``; bit-identical to slicing
+        :meth:`radius_batch`'s lists.
+
         ``self_indices``, when given, asserts that row ``i`` of
         ``queries`` is index point ``self_indices[i]`` — the hint that
         lets an installed :class:`RadiusReuseCache` serve the call by
         filtering its cached larger-radius result (bit-identical to the
         fresh search).  Searchers without a cache ignore it.
+
+        Queries answered without any list round-trip are counted in
+        ``stats.csr_results``; an injector that lacks a
+        ``radius_batch_csr`` hook forces a list fallback, which is
+        repacked but not counted.
         """
         start = time.perf_counter()
-        if self._injector is not None:
-            if hasattr(self._injector, "radius_batch"):
-                result = self._injector.radius_batch(
-                    self._index, queries, r, self.stats, sort
-                )
-            else:
-                result = self._loop_injected_radius(queries, r, sort)
-        else:
-            result = self._reused_radius(r, sort, self_indices)
-            if result is None:
-                result = self._index.radius_batch(
-                    queries, r, self.stats, sort=sort
-                )
+        result, csr_native = self._radius_batch_impl(
+            queries, r, sort, self_indices
+        )
+        if csr_native:
+            self.stats.csr_results += result.n_segments
         self.stats.batches += 1
         if self._profiler is not None:
             self._profiler.charge_search(time.perf_counter() - start)
         return result
 
-    def _reused_radius(self, r, sort, self_indices):
+    def _radius_batch_impl(
+        self, queries, r, sort, self_indices
+    ) -> tuple[RaggedNeighborhoods, bool]:
+        """Shared dispatch for both radius entry points.
+
+        Returns ``(result, csr_native)`` where ``csr_native`` is False
+        only when a legacy injector forced a per-query list fallback.
+        """
+        if self._injector is not None:
+            if hasattr(self._injector, "radius_batch_csr"):
+                return (
+                    self._injector.radius_batch_csr(
+                        self._index, queries, r, self.stats, sort
+                    ),
+                    True,
+                )
+            if hasattr(self._injector, "radius_batch"):
+                lists = self._injector.radius_batch(
+                    self._index, queries, r, self.stats, sort
+                )
+            else:
+                lists = self._loop_injected_radius(queries, r, sort)
+            return RaggedNeighborhoods.from_lists(*lists), False
+        result = self._reused_radius_csr(r, sort, self_indices)
+        if result is None:
+            result = self._index.radius_batch_csr(
+                queries, r, self.stats, sort=sort
+            )
+        return result, True
+
+    def _reused_radius_csr(self, r, sort, self_indices):
         """Serve a radius batch from the reuse cache, or None for fresh.
 
         The first eligible full-cloud call fills the cache (inflated to
@@ -431,15 +508,13 @@ class NeighborSearcher:
                 return None
             cache.fill(self.stats)
             filled_now = True
-        idx_lists, dist_lists = cache.serve(self_indices, r, sort=sort)
+        result = cache.serve_csr(self_indices, r, sort=sort)
         if not filled_now:
             self.stats.queries += len(self_indices)
             self.stats.reused_queries += len(self_indices)
             self.stats.cache_hits += 1
-            self.stats.results_returned += int(
-                sum(len(lst) for lst in idx_lists)
-            )
-        return idx_lists, dist_lists
+            self.stats.results_returned += result.n_entries
+        return result
 
     # Fallbacks for third-party injectors that only define scalar hooks.
 
