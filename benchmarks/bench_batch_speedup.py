@@ -28,10 +28,10 @@ Run standalone to (re)record the baseline:
 from __future__ import annotations
 
 import argparse
-import json
 import time
 
 import numpy as np
+from record import write_bench
 
 from repro.registration.search import SearchConfig, build_searcher
 
@@ -156,9 +156,7 @@ def main() -> int:
             )
 
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as f:
-            json.dump(report, f, indent=2)
-            f.write("\n")
+        write_bench(args.out, report)
         print(f"wrote {args.out}")
     return 0
 

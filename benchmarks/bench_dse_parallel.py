@@ -34,11 +34,11 @@ fast CI job wires this in).
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import time
 
 import numpy as np
+from record import write_bench
 
 from repro.dse import explore, fingerprint_groups
 from repro.dse.grid import default_sweep, parameter_grid
@@ -176,9 +176,7 @@ def main() -> int:
             "met": timings["speedup_cached"] >= ACCEPTANCE_SPEEDUP,
         },
     }
-    with open(args.out, "w", encoding="utf-8") as f:
-        json.dump(payload, f, indent=2)
-        f.write("\n")
+    write_bench(args.out, payload)
     print(f"wrote {args.out}; acceptance met: {payload['acceptance']['met']}")
     return 0 if payload["acceptance"]["met"] else 1
 

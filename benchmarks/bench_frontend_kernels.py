@@ -40,12 +40,12 @@ from __future__ import annotations
 
 import argparse
 import contextlib
-import json
 import os
 import sys
 import time
 
 import numpy as np
+from record import write_bench
 
 sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
@@ -556,9 +556,7 @@ def main() -> int:
             ),
         },
     }
-    with open(args.out, "w", encoding="utf-8") as f:
-        json.dump(payload, f, indent=2)
-        f.write("\n")
+    write_bench(args.out, payload)
     print(f"wrote {args.out}; acceptance met: {payload['acceptance']['met']}")
     return 0 if payload["acceptance"]["met"] else 1
 

@@ -33,6 +33,12 @@ deterministic), and the re-anchor / optimizer shares of mapper wall
 time — within-run ratios, so portable across machines — may not
 exceed their recorded shares by more than 50%.  Future PRs cannot
 silently give back the PR-7 solver or PR-8 re-anchor wins.
+
+``--trace PATH`` additionally records the full-mapper run through the
+telemetry layer (frame -> pair -> stage spans, loop closure, pose-graph
+solves) and writes a Chrome trace (or JSONL run record for ``.jsonl``
+paths) with the StageProfiler totals embedded for
+``tools/check_trace.py`` to cross-check.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ import json
 import time
 
 import numpy as np
+from record import add_trace_argument, write_bench, write_trace_file
 
 from repro.geometry import metrics
 from repro.io import SceneSuite, default_test_model
@@ -50,7 +57,9 @@ from repro.mapping import (
     urban_loop_mapper_config,
     urban_loop_pipeline,
 )
+from repro.profiling import StageProfiler
 from repro.registration import run_streaming_odometry
+from repro.telemetry import Tracer
 
 # The reference configuration lives in repro.mapping.presets so the
 # example, the golden regression scenario, the acceptance tests, and
@@ -65,10 +74,11 @@ ACCEPTANCE_RATIO = 0.5
 FLOOR_SLACK = 1.5
 
 
-def run_mapper(sequence, enable_loop_closure: bool):
+def run_mapper(sequence, enable_loop_closure: bool, tracer=None):
     mapper = StreamingMapper(
         urban_loop_pipeline(),
         urban_loop_mapper_config(enable_loop_closure=enable_loop_closure),
+        tracer=tracer,
     )
     start = time.perf_counter()
     for frame in sequence.frames:
@@ -76,7 +86,20 @@ def run_mapper(sequence, enable_loop_closure: bool):
     return mapper, time.perf_counter() - start
 
 
-def bench(frames: int) -> dict:
+def mapper_stage_totals(mapper) -> dict:
+    """Stage name -> seconds across the mapper's two profilers.
+
+    The odometry engine times the per-pair pipeline stages and the
+    loop closer times verification registrations; the trace's stage
+    spans cover both, so the embedded cross-check view must too.
+    """
+    combined = StageProfiler()
+    combined.merge(mapper.odometry.profiler)
+    combined.merge(mapper.loop_profiler)
+    return combined.stage_totals()
+
+
+def bench(frames: int, tracer=None) -> dict:
     suite = SceneSuite.default(n_frames=frames, model=default_test_model())
     sequence = suite.sequence("urban_loop")
 
@@ -87,7 +110,9 @@ def bench(frames: int) -> dict:
         open_loop.trajectory, sequence.poses
     )
 
-    mapper, mapper_seconds = run_mapper(sequence, enable_loop_closure=True)
+    mapper, mapper_seconds = run_mapper(
+        sequence, enable_loop_closure=True, tracer=tracer
+    )
     ate_mapped = metrics.absolute_trajectory_error(
         mapper.trajectory(), sequence.poses
     )
@@ -153,7 +178,7 @@ def bench(frames: int) -> dict:
         f"({mapper_seconds:.1f}s), ratio {ratio:.2f}x, "
         f"{stats.n_loop_closures} closures over {stats.n_keyframes} keyframes"
     )
-    return result
+    return result, mapper_stage_totals(mapper)
 
 
 def check_floors(result: dict, stored_path: str) -> list[str]:
@@ -201,10 +226,19 @@ def main() -> int:
         metavar="PATH",
         help="fail on >50%% regression against this recorded BENCH JSON",
     )
+    add_trace_argument(parser)
     args = parser.parse_args()
 
-    result = bench(args.frames)
+    tracer = Tracer() if args.trace else None
+    result, stage_totals = bench(args.frames, tracer=tracer)
     met = result["acceptance"]["met"]
+    if args.trace:
+        write_trace_file(
+            tracer,
+            args.trace,
+            profiler_totals=stage_totals,
+            meta={"bench": "mapping", "frames": args.frames},
+        )
     if args.check_floors:
         failures = check_floors(result, args.check_floors)
         for failure in failures:
@@ -216,9 +250,7 @@ def main() -> int:
         print(f"smoke OK: acceptance met: {met}")
         return 0 if met else 1
 
-    with open(args.out, "w", encoding="utf-8") as f:
-        json.dump(result, f, indent=2)
-        f.write("\n")
+    write_bench(args.out, result)
     print(f"wrote {args.out}; acceptance met: {met}")
     return 0 if met else 1
 

@@ -32,10 +32,10 @@ sanity pass).
 from __future__ import annotations
 
 import argparse
-import json
 import time
 
 import numpy as np
+from record import write_bench
 
 from repro.geometry import se3
 from repro.mapping import PoseGraph
@@ -237,9 +237,7 @@ def main() -> int:
         print(f"smoke OK: acceptance met: {met}")
         return 0 if met else 1
 
-    with open(args.out, "w", encoding="utf-8") as f:
-        json.dump(result, f, indent=2)
-        f.write("\n")
+    write_bench(args.out, result)
     print(f"wrote {args.out}; acceptance met: {met}")
     return 0 if met else 1
 

@@ -69,6 +69,7 @@ import os
 import time
 
 import numpy as np
+from record import add_trace_argument, write_bench, write_trace_file
 
 from repro.core.gridhash import GridHashConfig
 from repro.core.ragged import RaggedNeighborhoods
@@ -87,6 +88,8 @@ from repro.registration import (
     build_searcher,
 )
 from repro.registration.odometry import run_streaming_odometry
+from repro.profiling import StageProfiler
+from repro.telemetry import Tracer
 
 ACCEPT_CANONICAL_SPEEDUP = 3.0
 ACCEPT_CSR_SPEEDUP = 1.2
@@ -483,6 +486,25 @@ def check_floors(search_only: dict, stored_path: str) -> list[str]:
     return failures
 
 
+def trace_frontend(cloud, path: str) -> None:
+    """Record one traced front-end preprocess and export it.
+
+    A separate, untimed pass — the timed legs above always run
+    untraced so the recorded numbers carry no tracing cost.  The
+    StageProfiler totals ride along so ``tools/check_trace.py`` can
+    cross-check the span tree against the stage table.
+    """
+    tracer = Tracer()
+    profiler = StageProfiler(tracer=tracer)
+    frontend_pipeline("twostage").preprocess(cloud, profiler=profiler)
+    write_trace_file(
+        tracer,
+        path,
+        profiler_totals=profiler.stage_totals(),
+        meta={"bench": "search_frontend", "cloud_points": len(cloud)},
+    )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repeats", type=int, default=3)
@@ -497,6 +519,7 @@ def main() -> int:
         metavar="PATH",
         help="fail on >50%% regression against this recorded BENCH JSON",
     )
+    add_trace_argument(parser)
     args = parser.parse_args()
 
     if args.smoke:
@@ -514,6 +537,8 @@ def main() -> int:
         write_results_table(
             table + f"\n(smoke run: {len(cloud)}-point cloud, 3 repeats)"
         )
+        if args.trace:
+            trace_frontend(cloud, args.trace)
         if args.check_floors:
             failures = check_floors(search_only, args.check_floors)
             for failure in failures:
@@ -531,6 +556,8 @@ def main() -> int:
         f"benchmarking on a {len(cloud)}-point urban cloud "
         f"({len(frontend_points)} front-end points)"
     )
+    if args.trace:
+        trace_frontend(cloud, args.trace)
     search_only = bench_search_only(frontend_points, repeats=args.repeats)
     frontend = bench_frontend(cloud, repeats=args.repeats, include_sequential=True)
     streaming = bench_streaming(repeats=args.repeats)
@@ -604,9 +631,7 @@ def main() -> int:
             and frontend["twostage_reuse"] <= ACCEPT_TWOSTAGE_FRONTEND_S
         ),
     }
-    with open(args.out, "w", encoding="utf-8") as f:
-        json.dump(payload, f, indent=2)
-        f.write("\n")
+    write_bench(args.out, payload)
     print(f"wrote {args.out}; acceptance met: {payload['acceptance']['met']}")
     return 0 if payload["acceptance"]["met"] else 1
 

@@ -16,6 +16,13 @@ The printed drift table compares the open-loop odometry trajectory
 with) against the loop-closed one.
 
 Run:  python examples/mapping.py [--out map.pcd] [--no-loop-closure]
+                                 [--trace out.json]
+
+``--trace out.json`` records the run through the telemetry layer and
+writes a Chrome trace (Perfetto / ``chrome://tracing``; a ``.jsonl``
+path gets the flat run record): one span per frame with odometry
+pairs, loop-closure verifications, pose-graph solves and map
+re-anchoring nested inside.
 """
 
 import argparse
@@ -35,6 +42,8 @@ from repro.mapping import (
     urban_loop_mapper_config,
     urban_loop_pipeline,
 )
+from repro.profiling import StageProfiler
+from repro.telemetry import Tracer, write_trace
 
 
 def main():
@@ -46,6 +55,12 @@ def main():
                         help="laps around the circuit (keep ~24 frames/lap)")
     parser.add_argument("--no-loop-closure", action="store_true",
                         help="open-loop mapping: show the uncorrected drift")
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace (or .jsonl run record) of the run",
+    )
     args = parser.parse_args()
 
     # The SceneSuite's urban_loop workload (intersection scene, seed 11,
@@ -63,11 +78,13 @@ def main():
         f"urban_loop circuit, ~{len(sequence.frames[0])} points each"
     )
 
+    tracer = Tracer() if args.trace else None
     mapper = StreamingMapper(
         urban_loop_pipeline(),
         urban_loop_mapper_config(
             enable_loop_closure=not args.no_loop_closure
         ),
+        tracer=tracer,
     )
     for index, frame in enumerate(sequence.frames):
         result = mapper.push(frame)
@@ -99,6 +116,14 @@ def main():
 
     write_pcd(args.out, global_map)
     print(f"wrote {args.out}")
+    if args.trace:
+        combined = StageProfiler()
+        combined.merge(mapper.odometry.profiler)
+        combined.merge(mapper.loop_profiler)
+        write_trace(
+            tracer, args.trace, profiler_totals=combined.stage_totals()
+        )
+        print(f"wrote trace {args.trace}")
     return 0
 
 

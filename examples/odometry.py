@@ -14,6 +14,12 @@ pair-by-pair driver (bit-identical trajectory, roughly twice the
 per-frame preprocessing).
 
 Run:  python examples/odometry.py [--frames N] [--dense] [--pairwise]
+                                  [--trace out.json]
+
+``--trace out.json`` records the run through the telemetry layer and
+writes a Chrome trace (Perfetto / ``chrome://tracing``; a ``.jsonl``
+path gets the flat run record) — one span per pair with the pipeline
+stages nested inside.
 """
 
 import argparse
@@ -31,6 +37,7 @@ from repro.registration import (
     run_odometry,
     run_streaming_odometry,
 )
+from repro.telemetry import Tracer, write_trace
 
 
 def build_pipeline() -> Pipeline:
@@ -61,6 +68,12 @@ def main():
         action="store_true",
         help="use the uncached pair-by-pair driver instead of streaming",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace (or .jsonl run record) of the run",
+    )
     args = parser.parse_args()
 
     model = (
@@ -84,7 +97,8 @@ def main():
     else:
         driver, label = run_streaming_odometry, "streaming (artifact reuse)"
     print(f"driver: {label}")
-    result = driver(sequence, build_pipeline())
+    tracer = Tracer() if args.trace else None
+    result = driver(sequence, build_pipeline(), tracer=tracer)
     for index, (pair, seconds) in enumerate(
         zip(result.pair_results, result.pair_seconds)
     ):
@@ -109,6 +123,9 @@ def main():
         f"  final position error: {np.linalg.norm(final_gt - final_est):.3f} m "
         f"over {travelled:.1f} m travelled"
     )
+    if args.trace:
+        write_trace(tracer, args.trace)
+        print(f"wrote trace {args.trace}")
     return 0
 
 

@@ -6,6 +6,7 @@ prints the estimated transform against ground truth — the minimal
 end-to-end use of the public API.
 
 Run:  python examples/quickstart.py [--profile] [--search-backend gridhash]
+                                    [--trace out.json]
 
 ``--profile`` prints the extended per-stage Profiler breakdown (total /
 KD-tree search / KD-tree build / aggregation / share), so you can see
@@ -14,6 +15,10 @@ where registration time goes without running the figure benches.
 "Neighbor-search backends") so the same table shows search vs kernel
 time per backend — e.g. ``gridhash`` trades tree traversal for flat
 27-cell voxel probes.
+``--trace out.json`` records the run through the telemetry layer and
+writes a Chrome trace (load it in Perfetto / ``chrome://tracing``;
+use a ``.jsonl`` path for the flat run record instead) — see README
+"Observability & tracing".
 """
 
 import argparse
@@ -31,12 +36,14 @@ from repro.registration import (
     SearchConfig,
 )
 from repro.registration.search import _BACKENDS
+from repro.telemetry import Tracer, write_trace
 
 
 def main(
     profile: bool = False,
     search_backend: str = "twostage",
     gridhash_cell: float = 1.0,
+    trace: str | None = None,
 ):
     # 1. Data: two consecutive frames of a synthetic urban drive, with
     # exact ground truth for the relative motion.
@@ -69,7 +76,8 @@ def main(
     # per-frame stages once into an immutable FrameState, and ``match``
     # runs the pairwise stages.  Sequence drivers reuse a FrameState
     # across consecutive pairs (see examples/odometry.py).
-    profiler = StageProfiler()
+    tracer = Tracer() if trace else None
+    profiler = StageProfiler(tracer=tracer)
     source_state = pipeline.preprocess(source, profiler=profiler)
     target_state = pipeline.preprocess(target, profiler=profiler)
     result = pipeline.match(source_state, target_state, profiler=profiler)
@@ -95,6 +103,9 @@ def main(
 
     print()
     print(result.summary())
+    if trace:
+        write_trace(tracer, trace, profiler_totals=profiler.stage_totals())
+        print(f"wrote trace {trace}")
     return 0
 
 
@@ -117,11 +128,18 @@ if __name__ == "__main__":
         default=1.0,
         help="gridhash voxel cell size (exact for radii <= cell size)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace (or .jsonl run record) of the run",
+    )
     args = parser.parse_args()
     raise SystemExit(
         main(
             profile=args.profile,
             search_backend=args.search_backend,
             gridhash_cell=args.gridhash_cell,
+            trace=args.trace,
         )
     )

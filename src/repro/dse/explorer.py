@@ -51,6 +51,7 @@ from repro.registration.pipeline import (
     Pipeline,
     PipelineConfig,
 )
+from repro.telemetry import NULL_TRACER, Tracer
 
 __all__ = [
     "evaluate_config",
@@ -298,6 +299,7 @@ def _evaluate_group(
     scene: str | None,
     max_pairs: int | None,
     cache: FrameStateCache,
+    tracer=None,
 ) -> list[DesignPointResult]:
     """Evaluate one fingerprint group with shared per-frame artifacts.
 
@@ -307,7 +309,12 @@ def _evaluate_group(
     estimation; members that skip it ignore them (``match`` neither
     reads nor accounts feature stages then), keeping every result
     bit-identical to its sequential seed evaluation.
+
+    A :class:`~repro.telemetry.Tracer` (optional) records the shared
+    preprocesses and, per configuration, a ``config`` span wrapping its
+    pair chain — with every pipeline stage span nested inside.
     """
+    trace = NULL_TRACER if tracer is None else tracer
     configs = list(named_configs.values())
     representative = Pipeline(configs[0])
     fingerprint = configs[0].frontend_fingerprint()
@@ -317,7 +324,7 @@ def _evaluate_group(
 
     def preprocess(index: int):
         def build():
-            profiler = StageProfiler()
+            profiler = StageProfiler(tracer=tracer)
             state = representative.preprocess(
                 sequence.frames[index],
                 profiler=profiler,
@@ -341,25 +348,28 @@ def _evaluate_group(
         pair_stats: list[dict] = []
         icp_iterations: list[int] = []
 
-        for index in range(len(pairs)):
-            source_state, source_profiler = frames[index + 1]
-            target_state, target_profiler = frames[index]
-            pair_profiler = StageProfiler()
-            result = pipeline.match(
-                source_state, target_state, profiler=pair_profiler
-            )
-            # Attribute the (shared, once-measured) preprocess cost of
-            # the stages this config consumed to this pair, mirroring
-            # what a standalone ``register`` would have spent.  A config
-            # that skips initial estimation never consumed the feature
-            # stages, so they stay out of its profile and time.
-            pair_profiler.merge(source_profiler, stages=consumed)
-            pair_profiler.merge(target_profiler, stages=consumed)
-            times.append(pair_profiler.total)
-            merged_profiler.merge(pair_profiler)
-            relatives.append(result.transformation)
-            pair_stats.append(result.stage_stats)
-            icp_iterations.append(result.icp.iterations)
+        with trace.span("config", config=name, n_pairs=len(pairs)):
+            for index in range(len(pairs)):
+                source_state, source_profiler = frames[index + 1]
+                target_state, target_profiler = frames[index]
+                pair_profiler = StageProfiler(tracer=tracer)
+                with trace.span("pair", index=index):
+                    result = pipeline.match(
+                        source_state, target_state, profiler=pair_profiler
+                    )
+                # Attribute the (shared, once-measured) preprocess cost
+                # of the stages this config consumed to this pair,
+                # mirroring what a standalone ``register`` would have
+                # spent.  A config that skips initial estimation never
+                # consumed the feature stages, so they stay out of its
+                # profile and time.
+                pair_profiler.merge(source_profiler, stages=consumed)
+                pair_profiler.merge(target_profiler, stages=consumed)
+                times.append(pair_profiler.total)
+                merged_profiler.merge(pair_profiler)
+                relatives.append(result.transformation)
+                pair_stats.append(result.stage_stats)
+                icp_iterations.append(result.icp.iterations)
 
         results.append(
             _design_point(
@@ -383,20 +393,44 @@ def _scene_group_task(
     sequence: SyntheticSequence,
     max_pairs: int | None,
     cached: bool,
-) -> list[DesignPointResult]:
+    with_trace: bool = False,
+) -> tuple[list[DesignPointResult], dict | None]:
     """One shard of work: a fingerprint group evaluated over one scene.
 
     Module-level so a ``ProcessPoolExecutor`` can pickle it; also the
     unit of in-process execution, so both paths run the same code.
+
+    With ``with_trace`` a local :class:`~repro.telemetry.Tracer`
+    records the shard's span tree (one ``group`` root) and the frozen
+    payload rides back with the results — across the process boundary
+    when sharded — for :func:`explore` to adopt into the parent trace.
     """
-    if cached:
-        return _evaluate_group(
-            named_configs, sequence, scene, max_pairs, FrameStateCache()
-        )
-    return [
-        evaluate_config(name, config, sequence, max_pairs=max_pairs, scene=scene)
-        for name, config in named_configs.items()
-    ]
+    tracer = Tracer() if with_trace else None
+    trace = NULL_TRACER if tracer is None else tracer
+    with trace.span(
+        "group",
+        scene=scene,
+        configs=list(named_configs),
+        cached=cached,
+    ):
+        if cached:
+            results = _evaluate_group(
+                named_configs,
+                sequence,
+                scene,
+                max_pairs,
+                FrameStateCache(),
+                tracer=tracer,
+            )
+        else:
+            results = [
+                evaluate_config(
+                    name, config, sequence, max_pairs=max_pairs, scene=scene
+                )
+                for name, config in named_configs.items()
+            ]
+    payload = tracer.freeze() if tracer is not None else None
+    return results, payload
 
 
 def _normalize_scenes(
@@ -417,6 +451,7 @@ def explore(
     max_pairs: int | None = None,
     workers: int = 1,
     cached: bool = True,
+    tracer=None,
 ) -> ExplorationReport:
     """Evaluate every configuration over every scene, extract frontiers.
 
@@ -432,7 +467,16 @@ def explore(
     path (the parity reference).  ``workers > 1`` distributes
     ``(scene, fingerprint group)`` shards over a process pool; results
     are identical for any worker count.
+
+    A :class:`~repro.telemetry.Tracer` (optional) records one
+    ``explore`` span with every shard's ``group`` subtree underneath.
+    Shards evaluated in worker processes build a local tracer, freeze
+    it, and ship the payload back with their results; :func:`explore`
+    adopts each payload into the parent tracer (worker subtrees land on
+    their own per-pid tracks), so a sharded exploration still exports
+    as one merged trace.
     """
+    trace = NULL_TRACER if tracer is None else tracer
     scene_map = _normalize_scenes(scenes)
     if cached:
         groups = fingerprint_groups(configs)
@@ -444,21 +488,36 @@ def explore(
     single = len(scene_map) == 1
 
     tasks = [
-        (scene, named, sequence, max_pairs, cached)
+        (scene, named, sequence, max_pairs, cached, tracer is not None)
         for scene, sequence in scene_map.items()
         for named in groups.values()
     ]
 
-    if workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_scene_group_task, *task) for task in tasks]
-            shards = [future.result() for future in futures]
-    else:
-        shards = [_scene_group_task(*task) for task in tasks]
+    with trace.span(
+        "explore",
+        n_configs=len(configs),
+        n_groups=len(groups),
+        n_scenes=len(scene_map),
+        workers=workers,
+        cached=cached,
+    ):
+        if workers > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_scene_group_task, *task) for task in tasks
+                ]
+                outcomes = [future.result() for future in futures]
+        else:
+            outcomes = [_scene_group_task(*task) for task in tasks]
+        shards = []
+        for results, payload in outcomes:
+            if payload is not None:
+                trace.adopt(payload)
+            shards.append(results)
 
     # Reassemble per scene in the caller's configuration order.
     scene_results: dict[str, list[DesignPointResult]] = {}
-    for (scene, _, _, _, _), shard in zip(tasks, shards):
+    for (scene, *_), shard in zip(tasks, shards):
         scene_results.setdefault(scene, []).extend(shard)
     order = {name: index for index, name in enumerate(configs)}
     for scene in scene_results:

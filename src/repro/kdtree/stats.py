@@ -10,7 +10,7 @@ the accelerator's processing elements execute.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 __all__ = ["SearchStats"]
 
@@ -66,30 +66,33 @@ class SearchStats:
     csr_results: int = 0
 
     def merge(self, other: "SearchStats") -> None:
-        """Fold another accumulator into this one."""
-        self.nodes_visited += other.nodes_visited
-        self.traversal_steps += other.traversal_steps
-        self.pruned_subtrees += other.pruned_subtrees
-        self.leader_checks += other.leader_checks
-        self.queries += other.queries
-        self.results_returned += other.results_returned
-        self.batches += other.batches
-        self.reused_queries += other.reused_queries
-        self.cache_hits += other.cache_hits
-        self.csr_results += other.csr_results
+        """Fold another accumulator into this one.
+
+        Iterates the declared dataclass fields, so a counter added to
+        the class definition participates in merging automatically —
+        it cannot silently drop out the way a hand-maintained field
+        list could (``tests/kdtree/test_stats.py`` pins this).
+        """
+        for field_ in fields(self):
+            setattr(
+                self,
+                field_.name,
+                getattr(self, field_.name) + getattr(other, field_.name),
+            )
 
     def reset(self) -> None:
-        """Zero all counters."""
-        self.nodes_visited = 0
-        self.traversal_steps = 0
-        self.pruned_subtrees = 0
-        self.leader_checks = 0
-        self.queries = 0
-        self.results_returned = 0
-        self.batches = 0
-        self.reused_queries = 0
-        self.cache_hits = 0
-        self.csr_results = 0
+        """Zero all counters (every declared field, automatically)."""
+        for field_ in fields(self):
+            setattr(self, field_.name, field_.default)
+
+    def as_dict(self) -> dict:
+        """Field name -> value for every declared counter.
+
+        The telemetry layer attaches these as per-span counter deltas;
+        like :meth:`merge`/:meth:`reset` it enumerates the dataclass
+        fields so new counters flow through automatically.
+        """
+        return {field_.name: getattr(self, field_.name) for field_ in fields(self)}
 
     @property
     def nodes_per_query(self) -> float:

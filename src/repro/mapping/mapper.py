@@ -36,6 +36,7 @@ from repro.mapping.voxel_map import VoxelMap, VoxelMapConfig
 from repro.profiling.timer import StageProfiler
 from repro.registration.odometry import StreamingOdometry
 from repro.registration.pipeline import Pipeline, RegistrationResult
+from repro.telemetry import NULL_TRACER
 
 __all__ = ["MapperConfig", "MappingStats", "StreamingMapper"]
 
@@ -108,11 +109,18 @@ class StreamingMapper:
         pipeline: Pipeline,
         config: MapperConfig | None = None,
         seed_with_previous: bool = True,
+        tracer=None,
     ):
         self.pipeline = pipeline
         self.config = config or MapperConfig()
+        # Optional repro.telemetry.Tracer.  Threads through the odometry
+        # engine (per-pair spans) and the loop-closure profiler (stage
+        # spans under verify), and adds the mapper's own structural
+        # spans: frame -> keyframe -> loop_closure/verify ->
+        # pose_graph.optimize/re_anchor.
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.odometry = StreamingOdometry(
-            pipeline, seed_with_previous=seed_with_previous
+            pipeline, seed_with_previous=seed_with_previous, tracer=tracer
         )
         self.policy = KeyframePolicy(self.config.keyframes)
         self.closer = LoopCloser(pipeline, self.config.loop_closure)
@@ -121,7 +129,7 @@ class StreamingMapper:
         self.keyframes: list[Keyframe] = []
         self.loop_closures: list[LoopClosure] = []
         self.stats = MappingStats()
-        self.loop_profiler = StageProfiler()
+        self.loop_profiler = StageProfiler(tracer=tracer)
         # Open-loop chained odometry poses, one per frame; element k is
         # built exactly like metrics.trajectory_from_relative does, so
         # the unoptimized trajectory stays bit-identical to the
@@ -152,30 +160,31 @@ class StreamingMapper:
         Returns the frame-to-frame :class:`RegistrationResult` (``None``
         for the very first frame), exactly like the odometry engine.
         """
-        result = self.odometry.push(frame)
-        self.stats.n_frames += 1
-        self.stats.n_preprocess += 1
+        with self.tracer.span("frame", index=self.n_frames):
+            result = self.odometry.push(frame)
+            self.stats.n_frames += 1
+            self.stats.n_preprocess += 1
 
-        if result is None:
-            self._odom_poses.append(se3.identity())
-        else:
-            self._odom_poses.append(
-                se3.compose(self._odom_poses[-1], result.transformation)
-            )
-        odom_pose = self._odom_poses[-1]
-        frame_index = len(self._odom_poses) - 1
+            if result is None:
+                self._odom_poses.append(se3.identity())
+            else:
+                self._odom_poses.append(
+                    se3.compose(self._odom_poses[-1], result.transformation)
+                )
+            odom_pose = self._odom_poses[-1]
+            frame_index = len(self._odom_poses) - 1
 
-        last = self.keyframes[-1] if self.keyframes else None
-        if self.policy.is_keyframe(
-            None if last is None else last.odometry_pose, odom_pose
-        ):
-            self._add_keyframe(frame_index, odom_pose)
-        else:
-            relative = se3.compose(
-                se3.invert(last.odometry_pose), odom_pose
-            )
-            self._anchors.append((last.index, relative))
-        return result
+            last = self.keyframes[-1] if self.keyframes else None
+            if self.policy.is_keyframe(
+                None if last is None else last.odometry_pose, odom_pose
+            ):
+                self._add_keyframe(frame_index, odom_pose)
+            else:
+                relative = se3.compose(
+                    se3.invert(last.odometry_pose), odom_pose
+                )
+                self._anchors.append((last.index, relative))
+            return result
 
     def _add_keyframe(self, frame_index: int, odom_pose: np.ndarray) -> None:
         state = self.odometry.target_state
@@ -185,6 +194,8 @@ class StreamingMapper:
             odometry_pose=odom_pose,
             state=state,
         )
+        self.tracer.annotate(keyframe=keyframe.index)
+        self.tracer.count("keyframes")
         self.keyframes.append(keyframe)
         self.stats.n_keyframes += 1
         self._anchors.append((keyframe.index, None))
@@ -214,47 +225,73 @@ class StreamingMapper:
         self._refresh_map_stats()
 
     def _close_loops(self, keyframe: Keyframe) -> None:
+        tracer = self.tracer
         start = time.perf_counter()
-        candidates = self.closer.candidates(
-            self.keyframes, self._kf_poses, keyframe.index
-        )
-        self.stats.n_loop_candidates += len(candidates)
         closed = False
-        for candidate in candidates:
-            target = self.keyframes[candidate]
-            estimated_relative = se3.compose(
-                se3.invert(self._kf_poses[target.index]),
-                self._kf_poses[keyframe.index],
+        with tracer.span("loop_closure", keyframe=keyframe.index):
+            candidates = self.closer.candidates(
+                self.keyframes, self._kf_poses, keyframe.index
             )
-            self.stats.n_loop_verifications += 1
-            closure = self.closer.verify(
-                keyframe, target, estimated_relative, profiler=self.loop_profiler
-            )
-            if closure is None:
-                continue
-            self.loop_closures.append(closure)
-            self.stats.n_loop_closures += 1
-            self.graph.add_edge(
-                closure.target_index,
-                closure.source_index,
-                closure.relative,
-                weight=self.config.loop_edge_weight,
-                kind="loop",
-            )
-            closed = True
-        self.stats.n_feature_extensions = self.closer.n_feature_extensions
+            tracer.annotate(n_candidates=len(candidates))
+            tracer.count("loop_candidates", len(candidates))
+            self.stats.n_loop_candidates += len(candidates)
+            for candidate in candidates:
+                target = self.keyframes[candidate]
+                estimated_relative = se3.compose(
+                    se3.invert(self._kf_poses[target.index]),
+                    self._kf_poses[keyframe.index],
+                )
+                self.stats.n_loop_verifications += 1
+                tracer.count("loop_verifications")
+                with tracer.span("verify", target=target.index):
+                    closure = self.closer.verify(
+                        keyframe,
+                        target,
+                        estimated_relative,
+                        profiler=self.loop_profiler,
+                    )
+                    tracer.annotate(accepted=closure is not None)
+                if closure is None:
+                    continue
+                self.loop_closures.append(closure)
+                self.stats.n_loop_closures += 1
+                tracer.count("loop_closures")
+                self.graph.add_edge(
+                    closure.target_index,
+                    closure.source_index,
+                    closure.relative,
+                    weight=self.config.loop_edge_weight,
+                    kind="loop",
+                )
+                closed = True
+            self.stats.n_feature_extensions = self.closer.n_feature_extensions
         self.stats.loop_seconds += time.perf_counter() - start
         if closed:
             self._optimize()
 
     def _optimize(self) -> None:
+        tracer = self.tracer
         start = time.perf_counter()
         new_edges = list(
             range(self._n_optimized_edges, len(self.graph.edges))
         )
-        result = self.graph.optimize(
-            self.config.pose_graph, new_edges=new_edges
-        )
+        with tracer.span(
+            "pose_graph.optimize",
+            n_nodes=len(self.graph.nodes),
+            n_edges=len(self.graph.edges),
+            n_new_edges=len(new_edges),
+        ):
+            result = self.graph.optimize(
+                self.config.pose_graph, new_edges=new_edges
+            )
+            tracer.annotate(
+                mode=result.mode,
+                n_active_nodes=result.n_active_nodes,
+                iterations=result.iterations,
+                converged=result.converged,
+            )
+            tracer.count("optimizations")
+            tracer.count("gn_iterations", result.iterations)
         self._n_optimized_edges = len(self.graph.edges)
         self._kf_poses = [np.array(pose) for pose in result.poses]
         self.stats.n_optimizations += 1
@@ -263,9 +300,11 @@ class StreamingMapper:
         # Map maintenance is not solver time: account it separately so
         # back-end speedups are attributed honestly.
         start = time.perf_counter()
-        self.stats.n_reanchored += self.map.re_anchor(
-            dict(enumerate(self._kf_poses))
-        )
+        with tracer.span("re_anchor"):
+            n_reanchored = self.map.re_anchor(dict(enumerate(self._kf_poses)))
+            tracer.annotate(n_reanchored=n_reanchored)
+            tracer.count("reanchored_voxels", n_reanchored)
+        self.stats.n_reanchored += n_reanchored
         self.stats.reanchor_seconds += time.perf_counter() - start
         self._optimized = True
 

@@ -6,6 +6,20 @@ RPCE, ...) and, cutting across stages, time spent in KD-tree *search*
 versus KD-tree *construction* versus everything else.  ``StageProfiler``
 supports both: stages are timed with context managers, and the neighbor
 search wrapper charges its own time to dedicated cross-cutting buckets.
+
+``StageProfiler`` is also the compatibility shim over the unified
+telemetry layer (:mod:`repro.telemetry`).  Attach a
+:class:`~repro.telemetry.Tracer` (the ``tracer`` field) and every
+stage additionally opens a span (category ``"stage"``) in the
+tracer's span tree — nested under whatever structural span the caller
+holds open — with *exactly* the duration and KD-tree charges the
+stage table records (the shim closes the span with its own measured
+elapsed time, so ``stage_fractions()`` and the span-tree rollup agree
+bit-for-bit; pinned by ``tests/telemetry/test_shim_equivalence.py``).
+With no tracer attached — the default — behavior and cost are
+unchanged from the pre-telemetry profiler.  Stages themselves still
+may not nest (the pipeline is sequential); arbitrary nesting lives in
+the tracer's structural spans, not in the stage table.
 """
 
 from __future__ import annotations
@@ -42,6 +56,10 @@ class StageProfiler:
 
     stages: dict[str, StageTiming] = field(default_factory=dict)
     _active: str | None = None
+    # Optional repro.telemetry.Tracer backing this profiler.  When set,
+    # stages mirror into the tracer's span tree and KD-tree charges
+    # land on the innermost open span as well as the stage buckets.
+    tracer: object | None = None
 
     @contextmanager
     def stage(self, name: str):
@@ -52,23 +70,34 @@ class StageProfiler:
             )
         timing = self.stages.setdefault(name, StageTiming())
         self._active = name
+        tracer = self.tracer
+        span = tracer.begin(name, category="stage") if tracer is not None else None
         start = time.perf_counter()
         try:
             yield timing
         finally:
-            timing.total += time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            timing.total += elapsed
             timing.calls += 1
             self._active = None
+            if span is not None:
+                # Close with the measured elapsed time so the span tree
+                # and the stage table agree exactly.
+                tracer.end(span, duration=elapsed)
 
     def charge_search(self, elapsed: float) -> None:
         """Attribute ``elapsed`` seconds of KD-tree search to the open stage."""
         if self._active is not None:
             self.stages[self._active].kdtree_search += elapsed
+        if self.tracer is not None:
+            self.tracer.charge_search(elapsed)
 
     def charge_construction(self, elapsed: float) -> None:
         """Attribute KD-tree build time to the open stage."""
         if self._active is not None:
             self.stages[self._active].kdtree_construction += elapsed
+        if self.tracer is not None:
+            self.tracer.charge_construction(elapsed)
 
     # ------------------------------------------------------------------
     # Aggregations used by the Fig. 4 benches
@@ -85,6 +114,15 @@ class StageProfiler:
     @property
     def total_kdtree_construction(self) -> float:
         return sum(t.kdtree_construction for t in self.stages.values())
+
+    def stage_totals(self) -> dict[str, float]:
+        """Stage name -> accumulated seconds (the trace cross-check view).
+
+        This is what ``--trace`` flags embed as ``profilerTotals`` in
+        the Chrome trace so ``tools/check_trace.py`` can verify the
+        span tree against the legacy table.
+        """
+        return {name: timing.total for name, timing in self.stages.items()}
 
     def stage_fractions(self) -> dict[str, float]:
         """Fraction of total time per stage (Fig. 4a rows)."""

@@ -38,6 +38,7 @@ from repro.registration.pipeline import (
     Pipeline,
     RegistrationResult,
 )
+from repro.telemetry import tracer_of
 
 __all__ = [
     "OdometryResult",
@@ -97,12 +98,15 @@ def run_odometry(
     ground_truth_poses: list[np.ndarray] | None = None,
     seed_with_previous: bool = True,
     max_pairs: int | None = None,
+    tracer=None,
 ) -> OdometryResult:
     """Register a frame sequence into a trajectory.
 
     ``frames`` may be a plain list of clouds or a
     :class:`~repro.io.dataset.SyntheticSequence` (whose ground-truth
     poses are then used for scoring unless explicitly overridden).
+    Passing a :class:`~repro.telemetry.Tracer` records a per-pair span
+    tree (``pair -> preprocess/match -> stages``) for trace export.
     """
     frames, ground_truth_poses, n_pairs = _prepare_frames(
         frames, ground_truth_poses, max_pairs
@@ -116,11 +120,14 @@ def run_odometry(
 
     for index in range(n_pairs):
         source, target = frames[index + 1], frames[index]
-        pair_profiler = StageProfiler()
+        pair_profiler = StageProfiler(tracer=tracer)
         initial = previous if (seed_with_previous and previous is not None) else None
         start = time.perf_counter()
-        result = pipeline.register(source, target, initial=initial,
-                                   profiler=pair_profiler)
+        with tracer_of(pair_profiler).span(
+            "pair", index=index, seeded=initial is not None
+        ):
+            result = pipeline.register(source, target, initial=initial,
+                                       profiler=pair_profiler)
         pair_seconds.append(time.perf_counter() - start)
         profiler.merge(pair_profiler)
         relatives.append(result.transformation)
@@ -207,9 +214,18 @@ class StreamingOdometry:
         result = engine.result(poses)   # once >= 2 frames were pushed
     """
 
-    def __init__(self, pipeline: Pipeline, seed_with_previous: bool = True):
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        seed_with_previous: bool = True,
+        tracer=None,
+    ):
         self.pipeline = pipeline
         self.seed_with_previous = seed_with_previous
+        # Optional repro.telemetry.Tracer: every push records a
+        # "pair" (or "bootstrap") span with the pipeline spans nested
+        # inside.  None (the default) costs nothing.
+        self.tracer = tracer
         self.profiler = StageProfiler()
         self.relatives: list[np.ndarray] = []
         self.pair_results: list[RegistrationResult] = []
@@ -242,7 +258,8 @@ class StreamingOdometry:
         the very first frame (which is only preprocessed and cached).
         """
         start = time.perf_counter()
-        step_profiler = StageProfiler()
+        step_profiler = StageProfiler(tracer=self.tracer)
+        tracer = tracer_of(step_profiler)
         self._n_frames += 1
 
         initial = (
@@ -255,26 +272,31 @@ class StreamingOdometry:
         if self._target_state is None:
             # First frame: preprocess and wait for a partner.  Features
             # are computed only if pair 0 will run initial estimation.
-            self._target_state = self.pipeline.preprocess(
-                frame, profiler=step_profiler, with_features=run_initial
-            )
+            with tracer.span("bootstrap", frame=self._n_frames - 1):
+                self._target_state = self.pipeline.preprocess(
+                    frame, profiler=step_profiler, with_features=run_initial
+                )
             self.profiler.merge(step_profiler)
             self._pending_seconds = time.perf_counter() - start
             return None
 
-        source_state = self.pipeline.preprocess(
-            frame, profiler=step_profiler, with_features=run_initial
-        )
-        # When this pair runs initial estimation, the cached target was
-        # preprocessed with features too (its own pair was unseeded as
-        # well); if that invariant ever breaks, match() computes the
-        # missing features locally without caching them back.
-        result = self.pipeline.match(
-            source_state,
-            self._target_state,
-            initial=initial,
-            profiler=step_profiler,
-        )
+        with tracer.span(
+            "pair", index=self.n_pairs, seeded=initial is not None
+        ):
+            source_state = self.pipeline.preprocess(
+                frame, profiler=step_profiler, with_features=run_initial
+            )
+            # When this pair runs initial estimation, the cached target
+            # was preprocessed with features too (its own pair was
+            # unseeded as well); if that invariant ever breaks, match()
+            # computes the missing features locally without caching
+            # them back.
+            result = self.pipeline.match(
+                source_state,
+                self._target_state,
+                initial=initial,
+                profiler=step_profiler,
+            )
 
         self.pair_seconds.append(
             time.perf_counter() - start + self._pending_seconds
@@ -315,6 +337,7 @@ def run_streaming_odometry(
     ground_truth_poses: list[np.ndarray] | None = None,
     seed_with_previous: bool = True,
     max_pairs: int | None = None,
+    tracer=None,
 ) -> OdometryResult:
     """Drop-in streaming counterpart of :func:`run_odometry`.
 
@@ -326,7 +349,9 @@ def run_streaming_odometry(
         frames, ground_truth_poses, max_pairs
     )
 
-    engine = StreamingOdometry(pipeline, seed_with_previous=seed_with_previous)
+    engine = StreamingOdometry(
+        pipeline, seed_with_previous=seed_with_previous, tracer=tracer
+    )
     for frame in frames[: n_pairs + 1]:
         engine.push(frame)
     return engine.result(ground_truth_poses)

@@ -57,6 +57,7 @@ from repro.registration.search import (
     build_index,
     exact_index,
 )
+from repro.telemetry import tracer_of
 
 __all__ = [
     "PipelineConfig",
@@ -359,47 +360,51 @@ class Pipeline:
         """
         config = self.config
         profiler = profiler or StageProfiler()
+        tracer = tracer_of(profiler)
         if with_features is None:
             with_features = self.runs_initial()
         stats = {name: SearchStats() for name in _FRAME_STAGES + _FEATURE_STAGES}
 
-        if config.voxel_downsample is not None:
-            cloud = cloud.voxel_downsample(config.voxel_downsample)
-        if len(cloud) == 0:
-            raise ValueError("cannot register empty point clouds")
+        with tracer.span("preprocess", n_raw_points=len(cloud)):
+            if config.voxel_downsample is not None:
+                cloud = cloud.voxel_downsample(config.voxel_downsample)
+            if len(cloud) == 0:
+                raise ValueError("cannot register empty point clouds")
+            tracer.annotate(n_points=len(cloud))
 
-        # Stage 1: search structure + Normal Estimation (dense;
-        # approximate-eligible).  One tree per frame, shared by every
-        # stage view derived from this state.
-        with profiler.stage("Normal Estimation"):
-            index, _ = build_index(cloud.points, config.search, profiler)
-            planned = _planned_reuse_radius(config)
-            reuse = (
-                RadiusReuseCache(exact_index(index), planned)
-                if planned is not None
-                else None
-            )
-            state = FrameState(
-                cloud=cloud,
-                index=index,
-                search_config=config.search,
-                stats=stats,
-                reuse=reuse,
-            )
-            cloud = estimate_normals(
-                cloud,
-                state.searcher(
-                    stats["Normal Estimation"],
-                    fresh_approx=True,
-                    profiler=profiler,
-                    injector=config.injectors.get("Normal Estimation"),
-                ),
-                config.normals,
-            )
-            state = replace(state, cloud=cloud)
+            # Stage 1: search structure + Normal Estimation (dense;
+            # approximate-eligible).  One tree per frame, shared by every
+            # stage view derived from this state.
+            with profiler.stage("Normal Estimation"):
+                index, _ = build_index(cloud.points, config.search, profiler)
+                planned = _planned_reuse_radius(config)
+                reuse = (
+                    RadiusReuseCache(exact_index(index), planned)
+                    if planned is not None
+                    else None
+                )
+                state = FrameState(
+                    cloud=cloud,
+                    index=index,
+                    search_config=config.search,
+                    stats=stats,
+                    reuse=reuse,
+                )
+                cloud = estimate_normals(
+                    cloud,
+                    state.searcher(
+                        stats["Normal Estimation"],
+                        fresh_approx=True,
+                        profiler=profiler,
+                        injector=config.injectors.get("Normal Estimation"),
+                    ),
+                    config.normals,
+                )
+                state = replace(state, cloud=cloud)
+                tracer.count_stats(stats["Normal Estimation"])
 
-        if with_features:
-            state = self.ensure_features(state, profiler=profiler)
+            if with_features:
+                state = self.ensure_features(state, profiler=profiler)
         return state
 
     def ensure_features(
@@ -418,6 +423,7 @@ class Pipeline:
             return state
         config = self.config
         profiler = profiler or StageProfiler()
+        tracer = tracer_of(profiler)
         stats = {name: copy.copy(s) for name, s in state.stats.items()}
         working = replace(state, stats=stats)
 
@@ -433,6 +439,8 @@ class Pipeline:
                 ),
                 config.keypoints,
             )
+            tracer.count_stats(stats["Key-point Detection"])
+            tracer.annotate(n_keypoints=len(keypoints))
 
         # Stage 3: Descriptor Calculation (exact search).
         with profiler.stage("Descriptor Calculation"):
@@ -447,6 +455,7 @@ class Pipeline:
                 keypoints,
                 config.descriptor,
             )
+            tracer.count_stats(stats["Descriptor Calculation"])
         # The descriptor stage was the reuse cache's last consumer; the
         # featured state (what streaming drivers keep) drops it so the
         # cached CSR doesn't outlive its usefulness.  The bare input
@@ -475,8 +484,20 @@ class Pipeline:
         frames — streaming reuse changes *when* work happens, never what
         a pair reports.
         """
-        config = self.config
         profiler = profiler or StageProfiler()
+        tracer = tracer_of(profiler)
+        with tracer.span("match"):
+            return self._match(source_state, target_state, initial, profiler, tracer)
+
+    def _match(
+        self,
+        source_state: FrameState,
+        target_state: FrameState,
+        initial: np.ndarray | None,
+        profiler: StageProfiler,
+        tracer,
+    ) -> RegistrationResult:
+        config = self.config
 
         initial_transform = np.eye(4)
         run_initial = self.runs_initial(initial)
@@ -525,7 +546,9 @@ class Pipeline:
                     stats=stage_stats["KPCE"],
                     injector=config.injectors.get("KPCE"),
                 )
+                tracer.count_stats(stage_stats["KPCE"])
             n_feature_corr = len(feature_corr)
+            tracer.annotate(n_feature_correspondences=n_feature_corr)
 
             # --------------------------------------------------------------
             # Stage 5: Correspondence Rejection -> initial transform.
@@ -563,16 +586,23 @@ class Pipeline:
                 injector=config.injectors.get("RPCE"),
             )
 
-        icp_result = icp(
-            source,
-            target,
-            rpce_searcher_factory(),
-            config.icp,
-            initial=initial_transform,
-            profiler=profiler,
-            searcher_factory=rpce_searcher_factory if approximate else None,
-            range_image=target_state.range_image,
-        )
+        with tracer.span("icp", approximate=approximate):
+            icp_result = icp(
+                source,
+                target,
+                rpce_searcher_factory(),
+                config.icp,
+                initial=initial_transform,
+                profiler=profiler,
+                searcher_factory=rpce_searcher_factory if approximate else None,
+                range_image=target_state.range_image,
+            )
+            tracer.count_stats(stage_stats["RPCE"])
+            tracer.annotate(
+                iterations=icp_result.iterations,
+                converged=icp_result.converged,
+                n_correspondences=icp_result.n_correspondences,
+            )
 
         success = icp_result.n_correspondences >= 6 and np.all(
             np.isfinite(icp_result.transformation)

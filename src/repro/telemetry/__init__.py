@@ -1,0 +1,50 @@
+"""Unified telemetry: hierarchical spans, counters, trace exporters.
+
+The observability layer behind the paper's measurement story (Fig. 4
+stage breakdown, Fig. 6 search-work counts): a :class:`Tracer` records
+nested :class:`Span` trees with attached counter deltas and
+cross-cutting KD-tree time charges, a :class:`CounterRegistry` keeps
+run totals, and :mod:`repro.telemetry.export` serializes the result as
+Chrome trace-event JSON (Perfetto-loadable) or a flat JSONL run
+record.
+
+The legacy :class:`~repro.profiling.StageProfiler` is a thin
+compatibility shim over this layer: attach a tracer to a profiler and
+every ``profiler.stage(...)`` opens a span (category ``"stage"``)
+whose duration and KD-tree charges match the stage table exactly,
+while the surrounding layers (pipeline, streaming odometry, SLAM
+mapper, DSE explorer) contribute the structural spans above and below.
+With no tracer attached — the default everywhere — every
+instrumentation point hits :data:`NULL_TRACER` no-ops and costs
+nothing measurable.
+"""
+
+from repro.telemetry.counters import CounterRegistry
+from repro.telemetry.export import (
+    JSONL_SCHEMA,
+    chrome_trace_events,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    tracer_of,
+)
+
+__all__ = [
+    "CounterRegistry",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "tracer_of",
+    "JSONL_SCHEMA",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_trace",
+]

@@ -1,0 +1,52 @@
+"""Run-total counter registry.
+
+Spans carry per-span counter *deltas* (see
+:class:`~repro.telemetry.tracer.Span`); the registry keeps the run-wide
+totals so a consumer that only wants "how many node visits did this run
+perform" never has to walk the span tree.  Counters are created on
+first :meth:`add` — there is no declaration step, the namespace is
+whatever the instrumented layers charge (the
+:class:`~repro.kdtree.stats.SearchStats` field names, mapper counters
+like ``keyframes``/``loop_closures``, pose-graph counters like
+``relinearized_edges``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["CounterRegistry"]
+
+
+class CounterRegistry:
+    """Named numeric accumulators, created on first use."""
+
+    def __init__(self):
+        self._counters: dict[str, int | float] = {}
+
+    def add(self, name: str, value=1) -> None:
+        """Accumulate ``value`` into the named counter."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def get(self, name: str):
+        """Current total for ``name`` (0 if never charged)."""
+        return self._counters.get(name, 0)
+
+    def totals(self) -> dict:
+        """A snapshot dict of every counter's total."""
+        return dict(self._counters)
+
+    def merge(self, totals: dict) -> None:
+        """Fold another registry's :meth:`totals` snapshot into this one."""
+        for name, value in totals.items():
+            self.add(name, value)
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={value}" for name, value in sorted(self._counters.items())
+        )
+        return f"CounterRegistry({inner})"

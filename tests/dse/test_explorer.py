@@ -149,6 +149,63 @@ class TestMultiScene:
         assert report.results[0] is report.scene_results["only"][0]
 
 
+class TestExploreTelemetry:
+    def configs(self):
+        return {"fast": cheap_config(2), "slow": cheap_config(10)}
+
+    def explore_traced(self, lidar_sequence, workers: int):
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
+        report = explore(
+            self.configs(),
+            lidar_sequence,
+            max_pairs=1,
+            workers=workers,
+            tracer=tracer,
+        )
+        return tracer, report
+
+    def test_single_explore_root_with_group_subtrees(self, lidar_sequence):
+        tracer, _ = self.explore_traced(lidar_sequence, workers=1)
+        assert [root.name for root in tracer.roots] == ["explore"]
+        explore_span = tracer.roots[0]
+        groups = [c for c in explore_span.children if c.name == "group"]
+        assert len(groups) == explore_span.args["n_groups"]
+        names = {span.name for span in explore_span.walk()}
+        assert {"explore", "group", "config", "pair", "match"} <= names
+
+    def test_inprocess_groups_stay_on_main_track(self, lidar_sequence):
+        tracer, _ = self.explore_traced(lidar_sequence, workers=1)
+        assert all(
+            span.track is None for span in tracer.roots[0].walk()
+        )
+
+    def test_workers_merge_into_one_parent_trace(self, lidar_sequence):
+        tracer, traced_report = self.explore_traced(lidar_sequence, workers=2)
+        # Still one root: every worker shard adopted under "explore".
+        assert [root.name for root in tracer.roots] == ["explore"]
+        explore_span = tracer.roots[0]
+        groups = [c for c in explore_span.children if c.name == "group"]
+        assert len(groups) == explore_span.args["n_groups"]
+        # Worker subtrees carry their origin pid on every span.
+        for group in groups:
+            tracks = {span.track for span in group.walk()}
+            assert len(tracks) == 1
+            assert tracks != {None}
+        # Tracing a sharded run must not perturb the results.
+        reference = explore(self.configs(), lidar_sequence, max_pairs=1)
+        for ours, ref in zip(traced_report.results, reference.results):
+            assert ours.name == ref.name
+            assert ours.translational_error == ref.translational_error
+            assert ours.rotational_error == ref.rotational_error
+
+    def test_counters_fold_across_workers(self, lidar_sequence):
+        tracer, _ = self.explore_traced(lidar_sequence, workers=2)
+        assert tracer.counters.get("queries") > 0
+        assert tracer.counters.get("nodes_visited") > 0
+
+
 class TestFrontierTags:
     def ndarray_point(self, name, time, err):
         """Equal scalar fields + ndarray-laden detail: dataclass ``==``

@@ -1,5 +1,7 @@
 """Unit tests for the SearchStats accumulator."""
 
+from dataclasses import fields
+
 from repro.kdtree import SearchStats
 
 
@@ -38,3 +40,27 @@ class TestSearchStats:
         text = repr(SearchStats(nodes_visited=5, queries=1))
         assert "nodes_visited=5" in text
         assert "queries=1" in text
+
+
+class TestFieldCoverage:
+    """merge/reset/as_dict enumerate ``dataclasses.fields``, so every
+    declared counter participates automatically — a newly added field
+    cannot silently drop out of the accumulation protocol."""
+
+    def everything_set(self, value: int) -> SearchStats:
+        return SearchStats(**{f.name: value for f in fields(SearchStats)})
+
+    def test_merge_covers_every_field(self):
+        acc = self.everything_set(1)
+        acc.merge(self.everything_set(2))
+        assert all(value == 3 for value in acc.as_dict().values())
+
+    def test_reset_covers_every_field(self):
+        stats = self.everything_set(5)
+        stats.reset()
+        assert stats == SearchStats()
+
+    def test_as_dict_covers_every_field(self):
+        snapshot = self.everything_set(7).as_dict()
+        assert set(snapshot) == {f.name for f in fields(SearchStats)}
+        assert all(value == 7 for value in snapshot.values())

@@ -200,3 +200,93 @@ class TestMapperMechanics:
         text = mapper.stats.summary()
         assert "keyframes" in text
         assert "loop closure" in text
+
+
+class TestTelemetry:
+    """Span-tree and counter view of a traced mapping run.
+
+    Uses a half-length circuit (one lap revisit still closes a loop)
+    so the traced run stays cheap next to the module fixtures.
+    """
+
+    @pytest.fixture(scope="class")
+    def traced(self):
+        from repro.telemetry import Tracer
+
+        suite = SceneSuite.default(
+            n_frames=N_FRAMES // 2, model=default_test_model()
+        )
+        sequence = suite.sequence("urban_loop")
+        tracer = Tracer()
+        mapper = StreamingMapper(make_pipeline(), mapper_config(), tracer=tracer)
+        for frame in sequence.frames:
+            mapper.push(frame)
+        return tracer, mapper
+
+    def test_one_frame_span_per_push(self, traced):
+        tracer, mapper = traced
+        assert [root.name for root in tracer.roots] == (
+            ["frame"] * mapper.n_frames
+        )
+
+    def test_hierarchy_reaches_every_subsystem(self, traced):
+        tracer, mapper = traced
+        names = {
+            span.name for root in tracer.roots for span in root.walk()
+        }
+        structural = {
+            "frame",
+            "bootstrap",
+            "pair",
+            "preprocess",
+            "match",
+            "icp",
+            "loop_closure",
+            "verify",
+            "pose_graph.optimize",
+            "re_anchor",
+        }
+        assert structural <= names
+
+    def test_optimize_spans_annotated_with_solver_mode(self, traced):
+        tracer, mapper = traced
+        optimizes = [
+            span
+            for root in tracer.roots
+            for span in root.walk()
+            if span.name == "pose_graph.optimize"
+        ]
+        assert len(optimizes) == mapper.stats.n_optimizations
+        for span in optimizes:
+            assert span.args["mode"] in (
+                "batch",
+                "incremental",
+                "incremental+batch",
+            )
+            assert span.args["n_active_nodes"] <= span.args["n_nodes"]
+            assert isinstance(span.args["converged"], bool)
+
+    def test_counters_match_mapper_stats(self, traced):
+        tracer, mapper = traced
+        counters = tracer.counters
+        assert counters.get("keyframes") == mapper.stats.n_keyframes
+        assert counters.get("loop_closures") == mapper.stats.n_loop_closures
+        assert counters.get("optimizations") == mapper.stats.n_optimizations
+        assert counters.get("reanchored_voxels") == mapper.stats.n_reanchored
+        assert mapper.stats.n_loop_closures >= 1  # the scenario closes
+
+    def test_traced_run_matches_untraced(self, traced):
+        tracer, mapper = traced
+        suite = SceneSuite.default(
+            n_frames=N_FRAMES // 2, model=default_test_model()
+        )
+        sequence = suite.sequence("urban_loop")
+        untraced = StreamingMapper(make_pipeline(), mapper_config())
+        for frame in sequence.frames:
+            untraced.push(frame)
+        assert all(
+            np.array_equal(ours, reference)
+            for ours, reference in zip(
+                mapper.trajectory(), untraced.trajectory()
+            )
+        )

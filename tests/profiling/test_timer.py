@@ -98,6 +98,31 @@ class TestAggregation:
         assert a.stages["x"].kdtree_search == pytest.approx(0.5)
         assert "y" in a.stages
 
+    def test_merge_restricted_to_named_stages(self):
+        a = StageProfiler()
+        b = StageProfiler()
+        with b.stage("x"):
+            b.charge_search(0.3)
+        with b.stage("y"):
+            pass
+        with b.stage("z"):
+            pass
+        a.merge(b, stages=("x", "z"))
+        assert set(a.stages) == {"x", "z"}
+        assert a.stages["x"].kdtree_search == pytest.approx(0.3)
+        assert a.stages["x"].calls == 1
+
+    def test_merge_accumulates_calls(self):
+        a = StageProfiler()
+        with a.stage("x"):
+            pass
+        b = StageProfiler()
+        for _ in range(2):
+            with b.stage("x"):
+                pass
+        a.merge(b)
+        assert a.stages["x"].calls == 3
+
     def test_report_format(self):
         profiler = StageProfiler()
         with profiler.stage("Normal Estimation"):
@@ -105,3 +130,67 @@ class TestAggregation:
         text = profiler.report()
         assert "Normal Estimation" in text
         assert "TOTAL" in text
+
+
+class TestReportFormatting:
+    def make_profiler(self) -> StageProfiler:
+        profiler = StageProfiler()
+        with profiler.stage("RPCE"):
+            profiler.charge_search(0.0)
+        return profiler
+
+    def test_basic_report_has_no_extended_columns(self):
+        text = self.make_profiler().report()
+        header = text.splitlines()[0]
+        assert "kd-search" in header
+        assert "other" not in header
+        assert "share" not in header
+
+    def test_extended_report_columns_and_shares(self):
+        text = self.make_profiler().report(extended=True)
+        lines = text.splitlines()
+        assert "other" in lines[0] and "share" in lines[0]
+        # One stage -> its share and the TOTAL share are both 100%.
+        assert lines[1].startswith("RPCE")
+        assert lines[1].rstrip().endswith("100.0%")
+        assert lines[-1].startswith("TOTAL")
+        assert lines[-1].rstrip().endswith("100.0%")
+
+    def test_extended_report_on_empty_profiler(self):
+        # No stages recorded: the footer must print 0.0%, not divide
+        # by the zero total.
+        text = StageProfiler().report(extended=True)
+        lines = text.splitlines()
+        assert len(lines) == 2  # header + TOTAL only
+        assert lines[-1].startswith("TOTAL")
+        assert lines[-1].rstrip().endswith("0.0%")
+
+    def test_extended_report_search_stats_line(self):
+        from repro.kdtree import SearchStats
+
+        stats = SearchStats(
+            queries=10, csr_results=4, reused_queries=3, cache_hits=2
+        )
+        text = self.make_profiler().report(extended=True, search_stats=stats)
+        last = text.splitlines()[-1]
+        assert last == "queries: 10 (csr 4, reused 3, cache hits 2)"
+
+    def test_search_stats_ignored_without_extended(self):
+        from repro.kdtree import SearchStats
+
+        text = self.make_profiler().report(
+            search_stats=SearchStats(queries=10)
+        )
+        assert "queries:" not in text
+
+    def test_rows_sorted_by_descending_total(self):
+        profiler = StageProfiler()
+        with profiler.stage("quick"):
+            pass
+        with profiler.stage("slow"):
+            import time
+
+            time.sleep(0.002)
+        lines = profiler.report().splitlines()
+        assert lines[1].startswith("slow")
+        assert lines[2].startswith("quick")

@@ -1,0 +1,97 @@
+"""The StageProfiler is a shim over the tracer: both views must agree.
+
+The profiler's stage table and the tracer's ``category == "stage"``
+span rollup are two serializations of the *same* measurement (the shim
+closes each stage span with its own measured elapsed time), so they
+must match bit-for-bit — not approximately.  These tests pin that on a
+real pipeline run, and pin that attaching a tracer never perturbs the
+numerical results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.profiling import StageProfiler
+from repro.registration import (
+    ICPConfig,
+    KeypointConfig,
+    Pipeline,
+    PipelineConfig,
+    RPCEConfig,
+)
+from repro.telemetry import Tracer
+
+
+def quick_pipeline() -> Pipeline:
+    return Pipeline(
+        PipelineConfig(
+            keypoints=KeypointConfig(
+                method="uniform", params={"voxel_size": 3.0}, min_keypoints=10
+            ),
+            icp=ICPConfig(rpce=RPCEConfig(max_distance=1.5), max_iterations=8),
+            voxel_downsample=1.0,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def traced_run(lidar_pair):
+    source, target, _ = lidar_pair
+    tracer = Tracer()
+    profiler = StageProfiler(tracer=tracer)
+    result = quick_pipeline().register(source, target, profiler=profiler)
+    return tracer, profiler, result
+
+
+class TestShimEquivalence:
+    def test_stage_rollup_matches_table_exactly(self, traced_run):
+        tracer, profiler, _ = traced_run
+        rollup = tracer.stage_rollup()
+        assert set(rollup) == set(profiler.stages)
+        for name, timing in profiler.stages.items():
+            entry = rollup[name]
+            # Bit-for-bit: the shim closes each span with the table's
+            # elapsed time and forwards the same charges.
+            assert entry["total"] == timing.total
+            assert entry["kdtree_search"] == timing.kdtree_search
+            assert entry["kdtree_construction"] == timing.kdtree_construction
+            assert entry["calls"] == timing.calls
+
+    def test_fractions_recoverable_from_rollup(self, traced_run):
+        tracer, profiler, _ = traced_run
+        rollup = tracer.stage_rollup()
+        total = sum(entry["total"] for entry in rollup.values())
+        fractions = {name: entry["total"] / total for name, entry in rollup.items()}
+        assert fractions == profiler.stage_fractions()
+
+    def test_stage_spans_nest_under_structural_spans(self, lidar_pair):
+        source, target, _ = lidar_pair
+        tracer = Tracer()
+        profiler = StageProfiler(tracer=tracer)
+        quick_pipeline().register(source, target, profiler=profiler)
+        # register() = preprocess x2 + match; stage spans live inside.
+        root_names = [root.name for root in tracer.roots]
+        assert root_names == ["preprocess", "preprocess", "match"]
+        match = tracer.roots[2]
+        assert "icp" in [child.name for child in match.children]
+        stage_names = {
+            span.name
+            for root in tracer.roots
+            for span in root.walk()
+            if span.category == "stage"
+        }
+        assert stage_names == set(profiler.stages)
+
+    def test_tracing_does_not_perturb_results(self, lidar_pair):
+        source, target, _ = lidar_pair
+        bare = quick_pipeline().register(source, target)
+        profiler = StageProfiler(tracer=Tracer())
+        traced = quick_pipeline().register(source, target, profiler=profiler)
+        assert np.array_equal(bare.transformation, traced.transformation)
+        assert bare.icp.iterations == traced.icp.iterations
+        assert bare.icp.rmse == traced.icp.rmse
+
+    def test_search_counters_reach_the_registry(self, traced_run):
+        tracer, _, _ = traced_run
+        assert tracer.counters.get("queries") > 0
+        assert tracer.counters.get("nodes_visited") > 0

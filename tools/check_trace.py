@@ -1,0 +1,162 @@
+"""Validate an exported Chrome trace-event JSON file.
+
+CI runs the mapping bench with ``--trace`` and feeds the result here
+(see ``.github/workflows/ci.yml``); the checks are exactly the
+invariants the telemetry layer promises:
+
+1. **Well-formed**: the file is JSON with a ``traceEvents`` list, and
+   every event carries the required keys for its phase.
+2. **Balanced nesting**: per ``(pid, tid)`` track, ``B``/``E`` events
+   form a properly nested stack — every begin has a matching end with
+   the same name, timestamps are monotonically consistent (an ``E``
+   never precedes its ``B``), and nothing is left open at the end.
+3. **Shim agreement**: when the file embeds ``profilerTotals`` (stage
+   name -> seconds from the StageProfiler table), the summed duration
+   of the trace's ``cat == "stage"`` spans per stage must match within
+   ``--tolerance`` (default 1%) — the span tree and the legacy
+   profiler are two views of the same measurement, not two
+   measurements.
+
+Exit status is 0 when every check passes, 1 with a per-failure report
+otherwise.
+
+Run:  python tools/check_trace.py trace.json [--tolerance 0.01]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+STAGE_CATEGORY = "stage"
+
+
+def check_trace(payload: dict, tolerance: float = 0.01) -> list[str]:
+    """All violated invariants of an exported Chrome trace (empty = pass)."""
+    failures: list[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list traceEvents"]
+    if not events:
+        failures.append("traceEvents is empty")
+
+    # Balanced B/E per (pid, tid) track, with per-stage duration sums.
+    stacks: dict[tuple, list] = {}
+    stage_totals: dict[str, float] = {}
+    for position, event in enumerate(events):
+        phase = event.get("ph")
+        if phase not in ("B", "E", "M"):
+            failures.append(f"event {position}: unknown phase {phase!r}")
+            continue
+        if "pid" not in event or "tid" not in event:
+            failures.append(f"event {position}: missing pid/tid")
+            continue
+        if phase == "M":
+            continue
+        name = event.get("name")
+        ts = event.get("ts")
+        if name is None or not isinstance(ts, (int, float)):
+            failures.append(f"event {position}: B/E event needs name and ts")
+            continue
+        key = (event["pid"], event["tid"])
+        stack = stacks.setdefault(key, [])
+        if phase == "B":
+            stack.append((name, ts, event.get("cat")))
+        else:
+            if not stack:
+                failures.append(
+                    f"event {position}: E {name!r} with empty stack on {key}"
+                )
+                continue
+            open_name, open_ts, category = stack.pop()
+            if open_name != name:
+                failures.append(
+                    f"event {position}: E {name!r} closes B {open_name!r} "
+                    f"on {key}"
+                )
+                continue
+            if ts < open_ts:
+                failures.append(
+                    f"event {position}: {name!r} ends at {ts} before its "
+                    f"begin at {open_ts}"
+                )
+                continue
+            if category == STAGE_CATEGORY:
+                stage_totals[name] = stage_totals.get(name, 0.0) + (
+                    (ts - open_ts) / 1e6
+                )
+    for key, stack in stacks.items():
+        if stack:
+            failures.append(
+                f"track {key}: {len(stack)} span(s) left open "
+                f"({', '.join(repr(name) for name, _, _ in stack)})"
+            )
+
+    # Span totals vs the embedded StageProfiler table.
+    profiler_totals = payload.get("profilerTotals")
+    if profiler_totals is not None:
+        for stage, recorded in profiler_totals.items():
+            traced = stage_totals.get(stage)
+            if traced is None:
+                failures.append(
+                    f"stage {stage!r} in profilerTotals but has no "
+                    f"stage span in the trace"
+                )
+                continue
+            if recorded == 0.0:
+                if traced > tolerance:
+                    failures.append(
+                        f"stage {stage!r}: traced {traced:.6f}s vs "
+                        f"recorded 0s"
+                    )
+                continue
+            relative = abs(traced - recorded) / recorded
+            if relative > tolerance:
+                failures.append(
+                    f"stage {stage!r}: traced {traced:.6f}s vs recorded "
+                    f"{recorded:.6f}s ({100 * relative:.2f}% off, "
+                    f"tolerance {100 * tolerance:.0f}%)"
+                )
+        extra = set(stage_totals) - set(profiler_totals)
+        if extra:
+            failures.append(
+                f"stage spans missing from profilerTotals: {sorted(extra)}"
+            )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file to check")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.01,
+        help="max relative stage-total deviation vs profilerTotals",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            payload = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"FAIL: cannot read {args.trace}: {error}")
+        return 1
+
+    failures = check_trace(payload, tolerance=args.tolerance)
+    n_events = len(payload.get("traceEvents", []))
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    n_stages = len(payload.get("profilerTotals", {}) or {})
+    print(
+        f"OK: {args.trace} — {n_events} events, balanced B/E on every "
+        f"track, {n_stages} stage total(s) within tolerance"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
