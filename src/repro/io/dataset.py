@@ -9,16 +9,27 @@ frame, so registration estimates can be scored with the KITTI metrics in
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
 from repro.geometry import se3
+from repro.io.degradation import (
+    Degradation,
+    DynamicClutter,
+    FrameDrop,
+    NoiseBurst,
+    OcclusionWedge,
+    PointDropout,
+    degrade_sequence,
+)
 from repro.io.pointcloud import PointCloud
 from repro.io.synthetic import (
     LidarModel,
     Scene,
+    corridor_scene,
     curved_trajectory,
     highway_scene,
     intersection_scene,
@@ -101,23 +112,42 @@ class SceneSpec:
     list (e.g. :func:`~repro.io.synthetic.loop_trajectory` for the
     closed-circuit mapping workloads) and takes precedence over the
     default straight drive at ``step`` meters per frame.
+
+    ``degradation``, when set, is an ordered tuple of
+    :class:`~repro.io.degradation.Degradation` generators applied as a
+    post-pass over the synthesized sequence (seeded from the spec seed,
+    per frame) — the scene, trajectory, and ground truth stay those of
+    the clean spec, so ``replace(spec, degradation=None)`` is always the
+    exact clean twin of an adverse scene.
+
+    ``model``, when set, overrides the suite-wide sensor model for this
+    scene only (e.g. the degenerate corridor uses a noise-free sensor:
+    degeneracy is a property of the geometry, and sensor noise faking
+    observability would confound the measurement).
     """
 
     factory: Callable[[np.random.Generator], Scene]
     step: float = 1.0
     seed: int = 7
     trajectory: Callable[[int], list[np.ndarray]] | None = None
+    degradation: tuple[Degradation, ...] | None = None
+    model: LidarModel | None = None
 
     def build(self, n_frames: int, model: LidarModel | None) -> SyntheticSequence:
         rng = np.random.default_rng(self.seed)
-        return make_sequence(
+        sequence = make_sequence(
             n_frames=n_frames,
             seed=self.seed,
             scene=self.factory(rng),
-            model=model,
+            model=self.model if self.model is not None else model,
             step=self.step,
             poses=None if self.trajectory is None else self.trajectory(n_frames),
         )
+        if self.degradation:
+            sequence = degrade_sequence(
+                sequence, self.degradation, seed=self.seed
+            )
+        return sequence
 
 
 class SceneSuite:
@@ -182,6 +212,90 @@ class SceneSuite:
                 seed=11,
                 trajectory=lambda n: loop_trajectory(
                     n, radius=5.0, laps=2 if n >= 32 else 1
+                ),
+            ),
+        }
+        if scenes is not None:
+            unknown = set(scenes) - set(specs)
+            if unknown:
+                raise ValueError(f"unknown scenes: {sorted(unknown)}")
+            specs = {name: specs[name] for name in scenes}
+        return cls(specs, n_frames=n_frames, model=model)
+
+    @classmethod
+    def adverse(
+        cls,
+        n_frames: int = 8,
+        model: LidarModel | None = None,
+        scenes: tuple[str, ...] | None = None,
+    ) -> "SceneSuite":
+        """The adverse workloads: failure injection over known-good scenes.
+
+        Every degraded scene reuses the *clean* ``urban`` geometry and
+        seed from :meth:`default`, corrupted by a seeded post-pass (see
+        :mod:`repro.io.degradation`), so
+        ``replace(spec, degradation=None)`` recovers each scene's exact
+        clean twin for baseline comparison.  Degradations strike a
+        mid-sequence window — the sequence enters and leaves the fault
+        healthy, which is what lets recovery (not just survival) be
+        measured.  ``corridor`` is adverse through geometry alone: a
+        structurally degenerate scene where motion along the corridor
+        is unobservable to ICP.
+        """
+        urban = lambda rng: urban_scene(rng, length=120.0)  # noqa: E731
+        window = tuple(
+            range(max(1, n_frames // 3), max(2, (2 * n_frames) // 3))
+        )
+        mid = window[len(window) // 2]
+        specs = {
+            # Interference episode: position noise ~20x the sensor's
+            # nominal range noise over the middle third of the drive.
+            "urban_noise_burst": SceneSpec(
+                urban,
+                degradation=(NoiseBurst(sigma=0.4, frames=window),),
+            ),
+            # A close-passing occluder plus heavy return loss: most of
+            # the sweep vanishes and what is left is one-sided.
+            "urban_blackout": SceneSpec(
+                urban,
+                degradation=(
+                    PointDropout(fraction=0.9, frames=window),
+                    OcclusionWedge(
+                        width_deg=160.0, jitter_deg=30.0, frames=window
+                    ),
+                ),
+            ),
+            # Dynamic objects all the way through: per-frame-inconsistent
+            # clutter clusters contaminating the static-world assumption.
+            "urban_clutter": SceneSpec(
+                urban,
+                degradation=(DynamicClutter(frames=window),),
+            ),
+            # Sensor outage: a mid-sequence frame vanishes, so one
+            # surviving pair spans a double-length true motion.  The
+            # pipeline absorbs this one (the seeded correspondence
+            # radius covers the gap), making it the no-false-positive
+            # scene: the gap pair *legitimately* violates the motion
+            # model, so a correct health layer may flag it — but its
+            # retry rungs must then recognize the self-consistent
+            # re-solve and keep the measurement.  An overeager ladder
+            # would bridge the gap pair with the one-step motion prior
+            # and *introduce* a 1 m error.  (This is also why the
+            # robust median-residual gate exists: the pair's RMSE is
+            # inflated by reduced overlap alone, so an RMSE gate
+            # misfires here while the median stays clean.)
+            "urban_outage": SceneSpec(
+                urban,
+                degradation=(FrameDrop(frames=(mid,)),),
+            ),
+            # Geometric degeneracy, no injection needed: two parallel
+            # walls and a ground plane leave travel-direction motion
+            # unobservable (rank-2 translation Hessian).  A noise-free
+            # sensor isolates the geometric property being tested.
+            "corridor": SceneSpec(
+                lambda rng: corridor_scene(),
+                model=dataclasses.replace(
+                    default_test_model(), range_noise_std=0.0
                 ),
             ),
         }

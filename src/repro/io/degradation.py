@@ -1,0 +1,252 @@
+"""Seeded, composable degradation of synthetic LiDAR sequences.
+
+Real deployments fail in ways clean synthetic scans never exercise:
+rain and dust collapse the return rate, interference injects range
+noise far beyond the sensor's spec sheet, a passing truck occludes a
+whole sector of the sweep, pedestrians and traffic contaminate the
+static-world assumption, and the driver stack drops frames outright
+under load.  This module models those failures as *post-passes* over an
+already-synthesized :class:`~repro.io.dataset.SyntheticSequence`: the
+scene, trajectory and ground truth are untouched, only the scans the
+pipeline sees are corrupted.  That separation is what makes the
+robustness benchmarks honest — the degraded run is scored against the
+exact same ground truth as its clean twin.
+
+Every generator is a frozen dataclass (hashable, reproducible config)
+applied through a per-frame :class:`numpy.random.Generator` seeded from
+``(seed, frame_index)``, so a degraded sequence is a pure function of
+``(clean sequence, degradation list, seed)``: re-running it — or
+re-ordering *scenes* in a suite — can never change what any frame
+looks like.  Generators compose left to right; a generator that drops
+the frame short-circuits the rest of the chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.io.pointcloud import PointCloud
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dataset imports us)
+    from repro.io.dataset import SyntheticSequence
+
+__all__ = [
+    "Degradation",
+    "PointDropout",
+    "NoiseBurst",
+    "OcclusionWedge",
+    "DynamicClutter",
+    "FrameDrop",
+    "degrade_sequence",
+]
+
+
+def _with_points(cloud: PointCloud, points: np.ndarray) -> PointCloud:
+    """A copy of ``cloud`` with coordinates replaced.
+
+    Attribute channels ride along unchanged except ``range``, which is
+    recomputed so the organized-scan invariant (range == |point| in the
+    sensor frame) survives the perturbation.
+    """
+    attributes = {
+        name: cloud.get_attribute(name).copy() for name in cloud.attribute_names
+    }
+    if "range" in attributes:
+        attributes["range"] = np.linalg.norm(points, axis=1)
+    return PointCloud(points, **attributes)
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """Base class: one seeded per-frame corruption of a LiDAR scan.
+
+    ``frames`` restricts the corruption to specific frame indices
+    (``None`` strikes every frame) — bursts and outages are windows,
+    not steady states.  Subclasses implement :meth:`apply`; returning
+    ``None`` drops the frame from the sequence entirely.
+    """
+
+    frames: tuple[int, ...] | None = None
+
+    def applies_to(self, index: int) -> bool:
+        return self.frames is None or index in self.frames
+
+    def apply(
+        self, cloud: PointCloud, index: int, rng: np.random.Generator
+    ) -> PointCloud | None:
+        raise NotImplementedError
+
+    def __call__(
+        self, cloud: PointCloud | None, index: int, rng: np.random.Generator
+    ) -> PointCloud | None:
+        if cloud is None or not self.applies_to(index):
+            return cloud
+        return self.apply(cloud, index, rng)
+
+
+@dataclass(frozen=True)
+class PointDropout(Degradation):
+    """Uniform random return loss (rain, dust, low-reflectance surfaces).
+
+    Each point survives independently with probability ``1 - fraction``.
+    At least one point always survives so downstream containers never
+    see an empty cloud.
+    """
+
+    fraction: float = 0.5
+
+    def __post_init__(self):
+        if not 0.0 <= self.fraction < 1.0:
+            raise ValueError("dropout fraction must be in [0, 1)")
+
+    def apply(self, cloud, index, rng):
+        keep = rng.random(len(cloud)) >= self.fraction
+        if not keep.any():
+            keep[rng.integers(len(cloud))] = True
+        return cloud.select(np.nonzero(keep)[0])
+
+
+@dataclass(frozen=True)
+class NoiseBurst(Degradation):
+    """Isotropic Gaussian position noise far beyond the sensor spec.
+
+    Models interference / multipath episodes: ``sigma`` meters of noise
+    on every coordinate (the synthetic sensor's nominal range noise is
+    ~0.02 m, so even a few tenths of a meter destroys the local surface
+    structure normal estimation depends on).
+    """
+
+    sigma: float = 0.3
+
+    def __post_init__(self):
+        if self.sigma <= 0.0:
+            raise ValueError("noise sigma must be positive")
+
+    def apply(self, cloud, index, rng):
+        noisy = cloud.points + rng.normal(0.0, self.sigma, size=cloud.points.shape)
+        return _with_points(cloud, noisy)
+
+
+@dataclass(frozen=True)
+class OcclusionWedge(Degradation):
+    """Remove an azimuthal sector of the sweep (a close-passing vehicle).
+
+    Points whose horizontal bearing falls within ``width_deg`` degrees
+    of ``center_deg`` vanish.  ``jitter_deg`` wobbles the wedge center
+    per frame, as a real occluder would drift through the field of view.
+    """
+
+    center_deg: float = 0.0
+    width_deg: float = 60.0
+    jitter_deg: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 < self.width_deg < 360.0:
+            raise ValueError("wedge width must be in (0, 360)")
+
+    def apply(self, cloud, index, rng):
+        center = np.radians(self.center_deg)
+        if self.jitter_deg > 0.0:
+            center += np.radians(rng.uniform(-self.jitter_deg, self.jitter_deg))
+        bearing = np.arctan2(cloud.points[:, 1], cloud.points[:, 0])
+        offset = np.mod(bearing - center + np.pi, 2.0 * np.pi) - np.pi
+        keep = np.abs(offset) > np.radians(self.width_deg) / 2.0
+        if not keep.any():
+            keep[rng.integers(len(cloud))] = True
+        return cloud.select(np.nonzero(keep)[0])
+
+
+@dataclass(frozen=True)
+class DynamicClutter(Degradation):
+    """Dynamic objects: clumps of returns that move between frames.
+
+    A fresh set of ``n_objects`` box-shaped clusters is sampled per
+    frame at random bearings within ``[min_range, max_range]`` meters of
+    the sensor, and ``points_per_object`` existing returns are relocated
+    onto each — so the clutter is *inconsistent across frames*, the
+    property that makes dynamic objects poison for frame-to-frame
+    registration (a static obstacle would just be more scene).
+    Relocating rather than appending preserves the cloud's attribute
+    channels exactly.
+    """
+
+    n_objects: int = 3
+    points_per_object: int = 150
+    min_range: float = 2.0
+    max_range: float = 8.0
+    size: float = 1.8
+
+    def apply(self, cloud, index, rng):
+        total = self.n_objects * self.points_per_object
+        total = min(total, len(cloud) // 2)
+        if total == 0:
+            return cloud
+        victims = rng.choice(len(cloud), size=total, replace=False)
+        points = cloud.points.copy()
+        half = self.size / 2.0
+        for chunk in np.array_split(victims, self.n_objects):
+            bearing = rng.uniform(0.0, 2.0 * np.pi)
+            distance = rng.uniform(self.min_range, self.max_range)
+            center = np.array(
+                [
+                    distance * np.cos(bearing),
+                    distance * np.sin(bearing),
+                    rng.uniform(-1.4, 0.2),  # sensor sits ~1.8 m up
+                ]
+            )
+            points[chunk] = center + rng.uniform(-half, half, size=(len(chunk), 3))
+        return _with_points(cloud, points)
+
+
+@dataclass(frozen=True)
+class FrameDrop(Degradation):
+    """Drop whole frames (sensor outage / driver back-pressure).
+
+    The frame and its ground-truth pose are removed from the sequence,
+    so the surviving neighbors become a consecutive pair whose true
+    relative motion spans the gap — exactly what the motion model must
+    bridge.  ``frames`` is mandatory: dropping *every* frame is never a
+    scenario.
+    """
+
+    def __post_init__(self):
+        if not self.frames:
+            raise ValueError("FrameDrop needs an explicit frames tuple")
+
+    def apply(self, cloud, index, rng):
+        return None
+
+
+def degrade_sequence(
+    sequence: "SyntheticSequence",
+    degradations: Sequence[Degradation],
+    seed: int = 0,
+) -> "SyntheticSequence":
+    """Apply ``degradations`` (in order) to every frame of ``sequence``.
+
+    Each frame gets its own generator seeded from ``(seed, index)``,
+    shared by the chain in order — deterministic for a fixed chain, and
+    independent across frames so dropping or editing one frame's
+    corruption never shifts another's.  Frames any generator drops are
+    removed together with their ground-truth poses, keeping the
+    sequence's frame/pose alignment (and hence its pair iteration and
+    metrics) valid.
+    """
+    frames: list[PointCloud] = []
+    poses: list[np.ndarray] = []
+    for index, (cloud, pose) in enumerate(zip(sequence.frames, sequence.poses)):
+        rng = np.random.default_rng([seed, index])
+        degraded: PointCloud | None = cloud
+        for degradation in degradations:
+            degraded = degradation(degraded, index, rng)
+            if degraded is None:
+                break
+        if degraded is not None:
+            frames.append(degraded)
+            poses.append(pose)
+    if len(frames) < 2:
+        raise ValueError("degradation left fewer than two frames")
+    return replace(sequence, frames=frames, poses=poses)

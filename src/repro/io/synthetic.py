@@ -33,6 +33,7 @@ __all__ = [
     "highway_scene",
     "intersection_scene",
     "room_scene",
+    "corridor_scene",
     "straight_trajectory",
     "curved_trajectory",
     "loop_trajectory",
@@ -460,6 +461,35 @@ def room_scene(size: float = 10.0, height: float = 3.0) -> Scene:
     scene.add(Box((-1.0, -0.6, 0.0), (1.0, 0.6, 0.8)))  # a table
     scene.add(Cylinder((half * 0.6, -half * 0.6), 0.15, 0.0, height))
     scene.add(Sphere((-half * 0.5, half * 0.5, 0.5), 0.5))
+    return scene
+
+
+def corridor_scene(
+    length: float = 400.0,
+    width: float = 8.0,
+    height: float = 6.0,
+) -> Scene:
+    """A featureless straight corridor: ground plus two parallel walls.
+
+    Deliberately degenerate for registration along the travel direction:
+    every surface normal is either vertical (the ground) or perpendicular
+    to the corridor axis (the walls), so the point-to-plane
+    normal-equations Hessian's translation block is rank 2 and motion
+    along the corridor is unobservable — the canonical failure mode the
+    LOAM-style degeneracy detector in
+    :func:`repro.registration.health.translation_observability` exists
+    to flag.  Unlike :func:`highway_scene` (feature-poor but still
+    weakly observable through rail posts and gantries), this scene has
+    *no* perpendicular structure at all.  The default length keeps the
+    corridor's end caps (the only x-facing surfaces) beyond every
+    sensor model's maximum range for trajectories near the origin, so
+    not a single return carries travel-direction information.
+    """
+    scene = Scene()
+    scene.add(Plane(z=0.0))
+    half = width / 2.0
+    scene.add(Box((-length / 2.0, -half - 0.5, 0.0), (length / 2.0, -half, height)))
+    scene.add(Box((-length / 2.0, half, 0.0), (length / 2.0, half + 0.5, height)))
     return scene
 
 

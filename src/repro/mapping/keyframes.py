@@ -53,12 +53,20 @@ class Keyframe:
     ``state`` is the front end's preprocessed ``FrameState``; the loop
     closer may swap in a feature-extended copy (``ensure_features``
     never mutates, so the original odometry artifacts stay intact).
+    ``quarantined`` marks a keyframe whose pose rests on an unhealthy
+    or motion-model-bridged registration: it still chains through the
+    pose graph (the trajectory needs the node) but never anchors a
+    loop closure — neither as the closing keyframe nor as a candidate
+    — because a closure measured against a misplaced anchor would
+    inject exactly the kind of false constraint the robust back end
+    exists to contain.
     """
 
     index: int
     frame_index: int
     odometry_pose: np.ndarray
     state: FrameState
+    quarantined: bool = False
 
 
 class KeyframePolicy:

@@ -129,6 +129,11 @@ class LoopCloser:
         position = se3.translation_part(poses[current])
         scored: list[tuple[float, int]] = []
         for keyframe in keyframes:
+            if keyframe.quarantined:
+                # A quarantined keyframe's pose is a bridge/unhealthy
+                # estimate; a closure measured against it would anchor
+                # the graph to a position nobody verified.
+                continue
             if keyframe.index >= current - self.config.min_keyframe_gap:
                 continue
             distance = float(

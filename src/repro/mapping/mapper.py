@@ -34,7 +34,8 @@ from repro.mapping.loop_closure import LoopCloser, LoopClosure, LoopClosureConfi
 from repro.mapping.pose_graph import PoseGraph, PoseGraphConfig
 from repro.mapping.voxel_map import VoxelMap, VoxelMapConfig
 from repro.profiling.timer import StageProfiler
-from repro.registration.odometry import StreamingOdometry
+from repro.registration.health import HealthConfig, assess_registration
+from repro.registration.odometry import RecoveryConfig, StreamingOdometry
 from repro.registration.pipeline import Pipeline, RegistrationResult
 from repro.telemetry import NULL_TRACER
 
@@ -43,7 +44,21 @@ __all__ = ["MapperConfig", "MappingStats", "StreamingMapper"]
 
 @dataclass(frozen=True)
 class MapperConfig:
-    """Every knob of the SLAM subsystem, grouped by component."""
+    """Every knob of the SLAM subsystem, grouped by component.
+
+    The failure-aware knobs (both ``None`` by default — clean behavior
+    is bit-identical to the health-unaware mapper): ``recovery``
+    enables the odometry front end's health assessment + recovery
+    ladder, and frames whose pair ended unhealthy/bridged produce
+    *quarantined* keyframes that never anchor loop closures.
+    ``closure_health`` adds a health gate on top of the loop closer's
+    own verification thresholds: a verified closure whose registration
+    is degenerate (corridor geometry) or otherwise unhealthy is
+    rejected — and counted — instead of entering the pose graph.
+    Robust kernels / switchable loop constraints are configured on
+    ``pose_graph`` (see
+    :class:`~repro.mapping.pose_graph.PoseGraphConfig`).
+    """
 
     keyframes: KeyframeConfig = field(default_factory=KeyframeConfig)
     loop_closure: LoopClosureConfig = field(default_factory=LoopClosureConfig)
@@ -51,6 +66,8 @@ class MapperConfig:
     voxel_map: VoxelMapConfig = field(default_factory=VoxelMapConfig)
     enable_loop_closure: bool = True
     loop_edge_weight: float = 1.0
+    recovery: RecoveryConfig | None = None
+    closure_health: HealthConfig | None = None
 
 
 @dataclass
@@ -74,15 +91,23 @@ class MappingStats:
     n_map_points: int = 0
     n_map_voxels: int = 0
     n_reanchored: int = 0
+    n_quarantined_keyframes: int = 0
+    n_rejected_closures: int = 0
     loop_seconds: float = 0.0
     optimize_seconds: float = 0.0
     reanchor_seconds: float = 0.0
 
     def summary(self) -> str:
+        health = ""
+        if self.n_quarantined_keyframes or self.n_rejected_closures:
+            health = (
+                f" ({self.n_quarantined_keyframes} quarantined keyframe(s), "
+                f"{self.n_rejected_closures} health-rejected closure(s))"
+            )
         return (
             f"{self.n_frames} frames -> {self.n_keyframes} keyframes, "
             f"{self.n_loop_closures} loop closure(s) from "
-            f"{self.n_loop_candidates} candidate(s), "
+            f"{self.n_loop_candidates} candidate(s){health}, "
             f"{self.n_optimizations} optimization(s) "
             f"({self.optimization_iterations} GN iterations, "
             f"{self.optimize_seconds:.2f}s solve / "
@@ -120,7 +145,10 @@ class StreamingMapper:
         # pose_graph.optimize/re_anchor.
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.odometry = StreamingOdometry(
-            pipeline, seed_with_previous=seed_with_previous, tracer=tracer
+            pipeline,
+            seed_with_previous=seed_with_previous,
+            tracer=tracer,
+            recovery=self.config.recovery,
         )
         self.policy = KeyframePolicy(self.config.keyframes)
         self.closer = LoopCloser(pipeline, self.config.loop_closure)
@@ -174,11 +202,19 @@ class StreamingMapper:
             odom_pose = self._odom_poses[-1]
             frame_index = len(self._odom_poses) - 1
 
+            # With the recovery ladder active, a frame whose pair ended
+            # unhealthy (bridged by the motion model or simply beyond
+            # saving) taints any keyframe built on it.
+            degraded = False
+            if result is not None and self.config.recovery is not None:
+                health = self.odometry.stats.pair_health[-1]
+                degraded = health is not None and not health.healthy
+
             last = self.keyframes[-1] if self.keyframes else None
             if self.policy.is_keyframe(
                 None if last is None else last.odometry_pose, odom_pose
             ):
-                self._add_keyframe(frame_index, odom_pose)
+                self._add_keyframe(frame_index, odom_pose, quarantined=degraded)
             else:
                 relative = se3.compose(
                     se3.invert(last.odometry_pose), odom_pose
@@ -186,16 +222,22 @@ class StreamingMapper:
                 self._anchors.append((last.index, relative))
             return result
 
-    def _add_keyframe(self, frame_index: int, odom_pose: np.ndarray) -> None:
+    def _add_keyframe(
+        self, frame_index: int, odom_pose: np.ndarray, quarantined: bool = False
+    ) -> None:
         state = self.odometry.target_state
         keyframe = Keyframe(
             index=len(self.keyframes),
             frame_index=frame_index,
             odometry_pose=odom_pose,
             state=state,
+            quarantined=quarantined,
         )
         self.tracer.annotate(keyframe=keyframe.index)
         self.tracer.count("keyframes")
+        if quarantined:
+            self.stats.n_quarantined_keyframes += 1
+            self.tracer.count("quarantined_keyframes")
         self.keyframes.append(keyframe)
         self.stats.n_keyframes += 1
         self._anchors.append((keyframe.index, None))
@@ -220,7 +262,9 @@ class StreamingMapper:
         self._kf_poses.append(estimate)
         self.map.insert(keyframe.index, state.cloud.points, estimate)
 
-        if self.config.enable_loop_closure:
+        # A quarantined keyframe never anchors closures — not even as
+        # the closing side (its own pose estimate is the suspect part).
+        if self.config.enable_loop_closure and not keyframe.quarantined:
             self._close_loops(keyframe)
         self._refresh_map_stats()
 
@@ -253,6 +297,19 @@ class StreamingMapper:
                     tracer.annotate(accepted=closure is not None)
                 if closure is None:
                     continue
+                if self.config.closure_health is not None:
+                    closure_health = assess_registration(
+                        closure.result,
+                        self.config.closure_health,
+                        prior=estimated_relative,
+                    )
+                    if not closure_health.healthy:
+                        self.stats.n_rejected_closures += 1
+                        tracer.count("loop_rejected")
+                        tracer.annotate(
+                            rejected=",".join(closure_health.reasons)
+                        )
+                        continue
                 self.loop_closures.append(closure)
                 self.stats.n_loop_closures += 1
                 tracer.count("loop_closures")

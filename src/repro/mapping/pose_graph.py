@@ -46,7 +46,7 @@ started from.  Node 0 is held fixed as the gauge unless told otherwise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -82,6 +82,22 @@ class PoseGraphConfig:
     immediate batch solve when the local neighborhood's per-edge error
     after the local pass exceeds that multiple of the last batch's
     graph-wide per-edge error.
+
+    The robustness knobs (all off by default — the defaults reproduce
+    the quadratic solver bit-for-bit): ``robust_kernel`` selects an
+    M-estimator (``"huber"`` or ``"cauchy"``) applied per edge via IRLS
+    reweighting inside the GN loop, with scale ``robust_delta`` (the
+    residual-norm level, in the edge's own chi units, beyond which the
+    kernel bends the quadratic).  ``loop_switch_phi`` enables
+    closed-form switchable-constraint down-weighting (Dynamic
+    Covariance Scaling, Agarwal et al. 2013) for *loop* edges only: a
+    loop edge whose chi-squared exceeds ``phi`` is scaled by
+    ``s^2, s = 2*phi / (phi + chi2) < 1`` — a wrong closure's influence
+    is bounded instead of quadratic, while consistent closures
+    (``chi2 <= phi``) pass through exactly unchanged.  Huber and DCS
+    are exact at the quadratic limit, so enabling them on a
+    well-registered graph changes nothing; Cauchy reweights every
+    nonzero residual and is therefore not bit-transparent.
     """
 
     max_iterations: int = 25
@@ -91,6 +107,17 @@ class PoseGraphConfig:
     hop_radius: int = 5
     relinearize_interval: int = 8
     escalation_factor: float = 1.5
+    robust_kernel: str | None = None
+    robust_delta: float = 1.0
+    loop_switch_phi: float | None = None
+
+    def __post_init__(self):
+        if self.robust_kernel not in (None, "huber", "cauchy"):
+            raise ValueError("robust_kernel must be None, 'huber' or 'cauchy'")
+        if self.robust_delta <= 0:
+            raise ValueError("robust_delta must be positive")
+        if self.loop_switch_phi is not None and self.loop_switch_phi <= 0:
+            raise ValueError("loop_switch_phi must be positive")
 
 
 @dataclass(frozen=True)
@@ -118,6 +145,15 @@ class PoseGraphResult:
     ``mode`` records which path ran: ``"batch"``, ``"incremental"``,
     or ``"incremental+batch"`` when a local solve escalated to a full
     relinearization.  ``final_error <= initial_error`` by construction.
+
+    When any robustness knob is active, ``edge_chi2`` holds every
+    edge's raw chi-squared (``weight * ||r||^2``) at the final poses
+    and ``edge_robust_weights`` the IRLS multiplier the kernel/DCS
+    applied on top of the edge's own weight (1.0 = untouched), in edge
+    order — so a down-weighted (suspect) loop closure is directly
+    inspectable.  ``n_downweighted_loops`` counts loop edges whose
+    multiplier ended below 1.  All three stay empty/zero on a purely
+    quadratic solve (no O(E) recompute on the incremental fast path).
     """
 
     poses: list[np.ndarray]
@@ -127,6 +163,9 @@ class PoseGraphResult:
     converged: bool
     mode: str = "batch"
     n_active_nodes: int = 0
+    edge_chi2: list[float] = field(default_factory=list)
+    edge_robust_weights: list[float] = field(default_factory=list)
+    n_downweighted_loops: int = 0
 
 
 def linearize_edge(
@@ -184,6 +223,11 @@ class PoseGraph:
         # escalation reference) and calls since that batch.
         self._batch_edge_error: float | None = None
         self._calls_since_batch = 0
+        # The active robustification (kernel, delta, loop phi) — set
+        # from the config at each optimize() entry; the error cache and
+        # the batch reference are only valid for the params they were
+        # computed under, so a change invalidates both.
+        self._robust: tuple[str | None, float, float | None] = (None, 1.0, None)
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -238,17 +282,56 @@ class PoseGraph:
             )
         )
 
+    def _robust_terms(
+        self, edge: PoseGraphEdge, chi2: float
+    ) -> tuple[float, float]:
+        """(IRLS weight multiplier, robust cost) of one edge at ``chi2``.
+
+        ``chi2 = weight * ||r||^2`` is the edge's quadratic cost.  Loop
+        edges under DCS get the closed-form optimal switch variable
+        ``s = min(1, 2*phi / (phi + chi2))``: multiplier ``s^2``, cost
+        ``s^2 * chi2 + phi * (s - 1)^2``.  Otherwise the configured
+        M-estimator applies — Huber (quadratic to ``delta``, linear
+        beyond) or Cauchy (``delta^2 * log1p(chi2 / delta^2)``).  With
+        everything off this is exactly ``(1.0, chi2)``, and Huber/DCS
+        also return exactly that inside their quadratic regions, which
+        is what keeps clean-scene solves bit-identical.
+        """
+        kernel, delta, phi = self._robust
+        if phi is not None and edge.kind == "loop":
+            if chi2 <= phi:
+                return 1.0, chi2
+            s = 2.0 * phi / (phi + chi2)
+            return s * s, s * s * chi2 + phi * (s - 1.0) ** 2
+        if kernel == "huber":
+            if chi2 <= delta * delta:
+                return 1.0, chi2
+            chi = float(np.sqrt(chi2))
+            return delta / chi, delta * (2.0 * chi - delta)
+        if kernel == "cauchy":
+            scaled = chi2 / (delta * delta)
+            return 1.0 / (1.0 + scaled), delta * delta * float(np.log1p(scaled))
+        return 1.0, chi2
+
     def _edge_error(self, edge: PoseGraphEdge) -> float:
         residual = self._residual(edge, self.nodes)
-        return edge.weight * float(residual @ residual)
+        chi2 = edge.weight * float(residual @ residual)
+        return self._robust_terms(edge, chi2)[1]
 
     def error(self, poses: list[np.ndarray] | None = None) -> float:
-        """Total weighted squared residual over all edges (recomputed)."""
+        """Total (robustified) weighted squared residual over all edges.
+
+        With no robustness knobs active this is the plain weighted
+        quadratic cost; otherwise each edge contributes its robust cost
+        — the quantity the solver's monotonicity guarantee is stated
+        over.
+        """
         poses = self.nodes if poses is None else poses
         total = 0.0
         for edge in self.edges:
             residual = self._residual(edge, poses)
-            total += edge.weight * float(residual @ residual)
+            chi2 = edge.weight * float(residual @ residual)
+            total += self._robust_terms(edge, chi2)[1]
         return total
 
     def _cached_total(self) -> float:
@@ -319,17 +402,23 @@ class PoseGraph:
             residual, jac_i, jac_j = linearize_edge(
                 edge.measurement, self.nodes[edge.i], self.nodes[edge.j]
             )
+            # IRLS: the robust kernel enters the normal equations as a
+            # per-edge weight multiplier evaluated at the current
+            # linearization point (1.0 everywhere when robustness is
+            # off, or inside Huber/DCS quadratic regions).
+            chi2 = edge.weight * float(residual @ residual)
+            scale = edge.weight * self._robust_terms(edge, chi2)[0]
             jacobians = []
             if col_i is not None:
                 jacobians.append((col_i, jac_i))
             if col_j is not None:
                 jacobians.append((col_j, jac_j))
             for col_a, jac_a in jacobians:
-                gradient[col_a : col_a + 6] += edge.weight * (jac_a.T @ residual)
+                gradient[col_a : col_a + 6] += scale * (jac_a.T @ residual)
                 for col_b, jac_b in jacobians:
                     row_bases.append(col_a)
                     col_bases.append(col_b)
-                    blocks.append(edge.weight * (jac_a.T @ jac_b))
+                    blocks.append(scale * (jac_a.T @ jac_b))
         rows = (np.asarray(row_bases)[:, None] + _BLOCK_ROWS[None, :]).ravel()
         cols = (np.asarray(col_bases)[:, None] + _BLOCK_COLS[None, :]).ravel()
         data = np.asarray(blocks).reshape(-1)
@@ -441,6 +530,16 @@ class PoseGraph:
         initial_error`` in the result, always.
         """
         config = config or PoseGraphConfig()
+        robust = (
+            config.robust_kernel, config.robust_delta, config.loop_switch_phi
+        )
+        if robust != self._robust:
+            # Cached errors and the batch escalation reference were
+            # computed under the previous robustification — both are
+            # stale the moment the cost function changes.
+            self._robust = robust
+            self._error_cache.clear()
+            self._batch_edge_error = None
         free = [n for n in range(len(self.nodes)) if n not in fixed]
         if not free or not self.edges:
             total = self.error()
@@ -510,6 +609,22 @@ class PoseGraph:
             if mode == "batch":
                 n_active = len(free)
 
+        edge_chi2: list[float] = []
+        edge_robust_weights: list[float] = []
+        n_downweighted_loops = 0
+        if config.robust_kernel is not None or config.loop_switch_phi is not None:
+            # One O(E) diagnostic pass at the final poses: which edges
+            # did the robustification actually bend?  Skipped entirely
+            # on quadratic solves so the incremental path stays cheap.
+            for edge in self.edges:
+                residual = self._residual(edge, self.nodes)
+                chi2 = edge.weight * float(residual @ residual)
+                multiplier = self._robust_terms(edge, chi2)[0]
+                edge_chi2.append(chi2)
+                edge_robust_weights.append(multiplier)
+                if edge.kind == "loop" and multiplier < 1.0:
+                    n_downweighted_loops += 1
+
         return PoseGraphResult(
             [pose.copy() for pose in self.nodes],
             iterations,
@@ -518,4 +633,7 @@ class PoseGraph:
             converged,
             mode,
             n_active,
+            edge_chi2,
+            edge_robust_weights,
+            n_downweighted_loops,
         )

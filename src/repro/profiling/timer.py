@@ -161,7 +161,9 @@ class StageProfiler:
             mine.kdtree_construction += timing.kdtree_construction
             mine.calls += timing.calls
 
-    def report(self, extended: bool = False, search_stats=None) -> str:
+    def report(
+        self, extended: bool = False, search_stats=None, odometry_stats=None
+    ) -> str:
         """Human-readable table of stage timings.
 
         With ``extended``, adds the non-KD-tree remainder (``other`` —
@@ -171,7 +173,11 @@ class StageProfiler:
         ``search_stats`` (extended mode only) appends a counters line
         showing how the run's radius queries were delivered:
         CSR-natively (``csr``), from the nested-radius reuse cache
-        (``reused``/``cache hits``), or total.
+        (``reused``/``cache hits``), or total.  Passing an
+        :class:`~repro.registration.odometry.OdometryStats` as
+        ``odometry_stats`` (extended mode only) appends the run's
+        health line — non-converged ICP pairs and any recovery-ladder
+        activity, previously invisible in this view.
         """
         header = f"{'stage':<28}{'total(s)':>10}{'kd-search':>11}{'kd-build':>10}"
         if extended:
@@ -207,4 +213,6 @@ class StageProfiler:
                 f"reused {search_stats.reused_queries}, "
                 f"cache hits {search_stats.cache_hits})"
             )
+        if extended and odometry_stats is not None:
+            lines.append(f"health: {odometry_stats.summary()}")
         return "\n".join(lines)

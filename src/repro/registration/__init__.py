@@ -36,11 +36,19 @@ from repro.registration.estimation import (
     levenberg_marquardt,
     point_to_plane,
 )
+from repro.registration.health import (
+    HealthConfig,
+    RegistrationHealth,
+    assess_registration,
+    translation_observability,
+)
 from repro.registration.icp import ICPConfig, ICPResult, icp
 from repro.registration.keypoints import KeypointConfig, detect_keypoints
 from repro.registration.normals import NormalEstimationConfig, estimate_normals
 from repro.registration.odometry import (
     OdometryResult,
+    OdometryStats,
+    RecoveryConfig,
     StreamingOdometry,
     run_odometry,
     run_streaming_odometry,
@@ -89,6 +97,12 @@ __all__ = [
     "ICPConfig",
     "ICPResult",
     "icp",
+    "HealthConfig",
+    "RegistrationHealth",
+    "assess_registration",
+    "translation_observability",
+    "RecoveryConfig",
+    "OdometryStats",
     "kabsch",
     "point_to_plane",
     "levenberg_marquardt",

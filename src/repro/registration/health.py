@@ -1,0 +1,291 @@
+"""Registration health: a per-pair verdict over ``Pipeline.match`` output.
+
+Production LiDAR stacks treat registration failure as a first-class
+signal, not an exception: a pair can "succeed" numerically (finite
+transform, enough correspondences) while being useless — ICP stopped on
+its iteration budget, the feature stage found almost no inliers, the
+solved motion is physically impossible for the platform, or the scene
+geometry left a motion direction unobservable (the corridor problem).
+This module condenses those signals into a :class:`RegistrationHealth`
+verdict that the streaming drivers (recovery ladder in
+:class:`~repro.registration.odometry.StreamingOdometry`) and the SLAM
+back end (keyframe quarantine / loop-closure gating in
+:class:`~repro.mapping.mapper.StreamingMapper`) act on.
+
+Degeneracy detection follows the LOAM/Zhang "On Degeneracy of
+Optimization-based State Estimation" recipe: inspect the eigen-spectrum
+of the normal-equations Hessian ``J^T J`` that ICP's final iteration
+already solved.  For point-to-plane the translation sub-block is
+``N^T N`` over the matched unit normals — in a corridor every normal is
+perpendicular to the travel direction, the block drops to rank 2, and
+the smallest eigenvalue collapses relative to the largest.  The
+assessment is pure observation: computing it never changes a transform,
+so pipelines with health enabled stay bit-identical on healthy pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import se3
+from repro.registration.pipeline import RegistrationResult
+
+__all__ = [
+    "HealthConfig",
+    "RegistrationHealth",
+    "assess_registration",
+    "translation_observability",
+]
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Thresholds for the per-pair health verdict.
+
+    Defaults are deliberately permissive: a clean synthetic scene (and
+    any well-behaved real pair) must pass every gate, so enabling
+    health on a clean sequence changes nothing.  ``None`` disables an
+    individual check.
+
+    ``require_converged``
+        Fail pairs where ICP stopped on its iteration budget.  Off by
+        default: the reference configs run ICP with deliberately small
+        budgets (6-15 iterations) and routinely stop on the budget with
+        a perfectly good alignment, so convergence alone is an
+        informational signal (counted in odometry stats and telemetry),
+        not a gate.
+    ``max_rmse``
+        Upper bound on the final ICP correspondence RMSE (meters).
+    ``max_median_residual``
+        Upper bound on the *median* of the final ICP per-match
+        residuals (meters).  The robust counterpart of ``max_rmse``:
+        the RMSE is dominated by the far-match tail, which grows with
+        frame separation even when the alignment is excellent (a pair
+        spanning a dropped frame has less overlap, hence more distant
+        matches), so a tight RMSE gate misfires exactly when the
+        stream skips a frame.  The median ignores that tail but shifts
+        decisively under broad corruption — noise bursts, dynamic
+        clutter, heavy occlusion — making it the preferred quality
+        gate for recovery ladders.  Off by default.
+    ``min_inlier_ratio``
+        Lower bound on rejection inliers / feature correspondences;
+        only checked when the pair ran initial estimation.
+    ``max_translation`` / ``max_rotation_deg``
+        Motion sanity bounds on the solved relative transform — a
+        per-pair displacement no real platform produces means the
+        solve latched onto the wrong structure.
+    ``prior_translation_tolerance`` / ``prior_rotation_tolerance_deg``
+        Allowed deviation from a motion-model prediction, when the
+        caller supplies one (the constant-velocity prior in odometry).
+    ``min_eigenvalue_ratio`` / ``max_condition_number``
+        Degeneracy gates over the translation block of the ICP
+        normal-equations Hessian (see module docstring).
+    """
+
+    require_converged: bool = False
+    max_rmse: float | None = 1.0
+    max_median_residual: float | None = None
+    min_inlier_ratio: float | None = 0.05
+    max_translation: float | None = 10.0
+    max_rotation_deg: float | None = 45.0
+    prior_translation_tolerance: float | None = None
+    prior_rotation_tolerance_deg: float | None = None
+    min_eigenvalue_ratio: float | None = 1e-4
+    max_condition_number: float | None = None
+
+
+@dataclass(frozen=True)
+class RegistrationHealth:
+    """The verdict plus every signal that fed it.
+
+    ``healthy`` is the conjunction of all enabled gates; ``reasons``
+    names each failed gate (stable identifiers, usable as telemetry
+    counter keys).  The raw signals are retained so callers can log or
+    threshold them differently without re-running the registration.
+    """
+
+    healthy: bool
+    reasons: tuple[str, ...]
+    converged: bool
+    rmse: float
+    median_residual: float | None
+    inlier_ratio: float | None
+    translation: float
+    rotation_deg: float
+    prior_translation_deviation: float | None
+    prior_rotation_deviation_deg: float | None
+    degenerate: bool
+    eigenvalue_ratio: float | None
+    condition_number: float | None
+
+    def __repr__(self) -> str:
+        status = "healthy" if self.healthy else "UNHEALTHY"
+        detail = f" ({', '.join(self.reasons)})" if self.reasons else ""
+        return (
+            f"RegistrationHealth({status}{detail}, rmse={self.rmse:.4f}, "
+            f"|t|={self.translation:.3f} m, rot={self.rotation_deg:.2f} deg)"
+        )
+
+
+def translation_observability(
+    hessian: np.ndarray | None,
+    normals: np.ndarray | None = None,
+    trim_fraction: float = 0.05,
+) -> tuple[float | None, float | None]:
+    """(min/max eigenvalue ratio, condition number) of the translation
+    block of a 6x6 normal-equations Hessian, or ``(None, None)``.
+
+    The translation sub-block isolates the geometric aperture: for
+    point-to-plane it is exactly ``N^T N`` over the matched normals, so
+    a planar/corridor scene shows up as a near-zero smallest eigenvalue
+    regardless of how many points matched.
+
+    When the raw matched ``normals`` are available (point-to-plane),
+    the smallest eigenvalue is measured on a *trimmed* set: the
+    ``trim_fraction`` of matches contributing most along the weakest
+    direction are removed and the spectrum recomputed (twice, since the
+    weak eigenvector can rotate after the first trim).  Degenerate
+    plane fits — single-ring scan arcs whose neighborhoods are
+    collinear — emit normals with arbitrary orientation, and a few
+    percent of such junk is enough to prop the null direction of a
+    genuinely degenerate scene up to apparent observability.  A real
+    aperture is supported broadly across the matched set and survives
+    the trim; artifact support collapses.  This mirrors how LOAM-style
+    degeneracy analysis restricts itself to reliable planar features.
+    """
+    if hessian is None:
+        return None, None
+    block = np.asarray(hessian, dtype=np.float64)[3:6, 3:6]
+    if normals is not None and len(normals) >= 12 and trim_fraction > 0.0:
+        trimmed = np.asarray(normals, dtype=np.float64)
+        for _ in range(2):
+            _, vectors = np.linalg.eigh(trimmed.T @ trimmed)
+            contributions = (trimmed @ vectors[:, 0]) ** 2
+            k = max(1, int(round(trim_fraction * len(trimmed))))
+            cutoff = np.partition(contributions, -k)[-k]
+            keep = contributions < cutoff
+            if keep.sum() < 6:
+                break
+            trimmed = trimmed[keep]
+        block = trimmed.T @ trimmed
+    eigenvalues = np.linalg.eigvalsh(block)
+    largest = float(eigenvalues[-1])
+    smallest = float(eigenvalues[0])
+    if largest <= 0.0:
+        return 0.0, np.inf
+    ratio = max(smallest, 0.0) / largest
+    condition = np.inf if smallest <= 0.0 else largest / smallest
+    return ratio, condition
+
+
+def assess_registration(
+    result: RegistrationResult,
+    config: HealthConfig | None = None,
+    prior: np.ndarray | None = None,
+) -> RegistrationHealth:
+    """Assess one ``Pipeline.match`` result against ``config``.
+
+    ``prior``, when given, is the motion-model prediction of the
+    relative transform (e.g. the previous pair's motion under a
+    constant-velocity model); the solved transform's deviation from it
+    is checked against the prior tolerances.
+    """
+    config = config or HealthConfig()
+    reasons: list[str] = []
+
+    converged = bool(result.icp.converged)
+    rmse = float(result.icp.rmse)
+    rotation_rad = se3.rotation_angle(se3.rotation_part(result.transformation))
+    rotation_deg = float(np.degrees(rotation_rad))
+    translation = float(
+        np.linalg.norm(se3.translation_part(result.transformation))
+    )
+
+    if not result.success:
+        reasons.append("no_solution")
+    if config.require_converged and not converged:
+        reasons.append("icp_not_converged")
+    if config.max_rmse is not None and not rmse <= config.max_rmse:
+        reasons.append("rmse")
+
+    median_residual = None
+    residuals = result.icp.matched_residuals
+    if residuals is not None and len(residuals):
+        median_residual = float(np.median(residuals))
+    if config.max_median_residual is not None and not (
+        median_residual is not None
+        and median_residual <= config.max_median_residual
+    ):
+        reasons.append("median_residual")
+
+    inlier_ratio = None
+    if result.n_feature_correspondences > 0:
+        inlier_ratio = (
+            result.n_inlier_correspondences / result.n_feature_correspondences
+        )
+        if (
+            config.min_inlier_ratio is not None
+            and inlier_ratio < config.min_inlier_ratio
+        ):
+            reasons.append("inlier_ratio")
+
+    if config.max_translation is not None and translation > config.max_translation:
+        reasons.append("translation_bound")
+    if (
+        config.max_rotation_deg is not None
+        and rotation_deg > config.max_rotation_deg
+    ):
+        reasons.append("rotation_bound")
+
+    prior_trans_dev = prior_rot_dev = None
+    if prior is not None:
+        rot_dev_rad, prior_trans_dev = se3.transform_distance(
+            prior, result.transformation
+        )
+        prior_rot_dev = float(np.degrees(rot_dev_rad))
+        if (
+            config.prior_translation_tolerance is not None
+            and prior_trans_dev > config.prior_translation_tolerance
+        ):
+            reasons.append("prior_translation")
+        if (
+            config.prior_rotation_tolerance_deg is not None
+            and prior_rot_dev > config.prior_rotation_tolerance_deg
+        ):
+            reasons.append("prior_rotation")
+
+    eigenvalue_ratio, condition_number = translation_observability(
+        result.icp.hessian, normals=result.icp.matched_normals
+    )
+    degenerate = False
+    if eigenvalue_ratio is not None:
+        if (
+            config.min_eigenvalue_ratio is not None
+            and eigenvalue_ratio < config.min_eigenvalue_ratio
+        ):
+            degenerate = True
+        if (
+            config.max_condition_number is not None
+            and condition_number > config.max_condition_number
+        ):
+            degenerate = True
+        if degenerate:
+            reasons.append("degenerate")
+
+    return RegistrationHealth(
+        healthy=not reasons,
+        reasons=tuple(reasons),
+        converged=converged,
+        rmse=rmse,
+        median_residual=median_residual,
+        inlier_ratio=inlier_ratio,
+        translation=translation,
+        rotation_deg=rotation_deg,
+        prior_translation_deviation=prior_trans_dev,
+        prior_rotation_deviation_deg=prior_rot_dev,
+        degenerate=degenerate,
+        eigenvalue_ratio=eigenvalue_ratio,
+        condition_number=condition_number,
+    )

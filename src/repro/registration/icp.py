@@ -80,7 +80,26 @@ class ICPConfig:
 
 @dataclass
 class ICPResult:
-    """Outcome of the fine-tuning loop."""
+    """Outcome of the fine-tuning loop.
+
+    ``hessian`` is the 6x6 normal-equations Gauss-Newton Hessian
+    ``J^T J`` of the *final* iteration's correspondence set, in
+    ``(rotation, translation)`` block order — the observability matrix
+    the registration health layer inspects for degeneracy (a
+    corridor-like scene leaves the unconstrained direction as a
+    near-null eigenvector).  ``None`` when the loop never reached a
+    solvable correspondence set.  ``matched_normals`` retains the final
+    iteration's matched target normals (point-to-plane only): the raw
+    per-match translation Jacobian rows, which let the health layer
+    compute a *trimmed* observability statistic robust to the few junk
+    normals that degenerate (collinear) neighborhoods produce.
+    ``matched_residuals`` holds the final iteration's per-match
+    Euclidean distances (the vector whose RMS is ``rmse``): their
+    *median* is the robust alignment-quality signal — unlike the RMSE
+    it ignores the far-match tail that grows with frame separation, so
+    it stays comparable between ordinary pairs and pairs spanning a
+    dropped frame, while broad corruption (noise, clutter) shifts it.
+    """
 
     transformation: np.ndarray
     converged: bool
@@ -88,6 +107,9 @@ class ICPResult:
     rmse: float
     n_correspondences: int
     rmse_history: list[float] = field(default_factory=list)
+    hessian: np.ndarray | None = None
+    matched_normals: np.ndarray | None = None
+    matched_residuals: np.ndarray | None = None
 
     def __repr__(self) -> str:
         status = "converged" if self.converged else "not converged"
@@ -95,6 +117,32 @@ class ICPResult:
             f"ICPResult({status} after {self.iterations} iterations, "
             f"rmse={self.rmse:.4f}, pairs={self.n_correspondences})"
         )
+
+
+def _normal_equations_hessian(
+    points: np.ndarray, normals: np.ndarray | None = None
+) -> np.ndarray:
+    """``J^T J`` of one Gauss-Newton pass over matched points.
+
+    ``(rotation, translation)`` block order.  With ``normals`` this is
+    the point-to-plane system (one residual per pair); without, the
+    point-to-point system (three residuals per pair).  Pure observation
+    of the solve the iteration already performed — computing it never
+    changes the transform.
+    """
+    if normals is not None:
+        jacobian = np.hstack([np.cross(points, normals), normals])
+        return jacobian.T @ jacobian
+    n = len(points)
+    rot = np.zeros((3 * n, 3))
+    rot[0::3, 1] = points[:, 2]
+    rot[0::3, 2] = -points[:, 1]
+    rot[1::3, 0] = -points[:, 2]
+    rot[1::3, 2] = points[:, 0]
+    rot[2::3, 0] = points[:, 1]
+    rot[2::3, 1] = -points[:, 0]
+    jacobian = np.hstack([rot, np.tile(np.eye(3), (n, 1))])
+    return jacobian.T @ jacobian
 
 
 def icp(
@@ -141,6 +189,13 @@ def icp(
     converged = False
     iterations = 0
     n_pairs = 0
+    # The final iteration's matched geometry, retained so the
+    # normal-equations Hessian and the per-match residuals (the health
+    # layer's degeneracy and quality signals) can be computed once
+    # after the loop.
+    last_matched: (
+        tuple[np.ndarray, np.ndarray, np.ndarray | None] | None
+    ) = None
 
     for iteration in range(config.max_iterations):
         iterations = iteration + 1
@@ -179,6 +234,7 @@ def icp(
         with profiler.stage("Error Minimization"):
             if config.error_metric == "point_to_plane":
                 normals = target_normals[correspondences.target_indices]
+                last_matched = (matched_source, matched_target, normals)
                 if config.solver == "lm":
                     delta = levenberg_marquardt(
                         matched_source, matched_target, normals
@@ -186,6 +242,7 @@ def icp(
                 else:
                     delta = point_to_plane(matched_source, matched_target, normals)
             else:
+                last_matched = (matched_source, matched_target, None)
                 if config.solver == "lm":
                     delta = levenberg_marquardt(matched_source, matched_target)
                 else:
@@ -212,6 +269,15 @@ def icp(
         previous_rmse = rmse
 
     final_rmse = rmse_history[-1] if rmse_history else np.inf
+    hessian = None
+    matched_normals = None
+    matched_residuals = None
+    if last_matched is not None:
+        matched_src, matched_tgt, matched_normals = last_matched
+        hessian = _normal_equations_hessian(matched_src, matched_normals)
+        matched_residuals = np.sqrt(
+            np.sum((matched_src - matched_tgt) ** 2, axis=1)
+        )
     return ICPResult(
         transformation=current,
         converged=converged,
@@ -219,4 +285,7 @@ def icp(
         rmse=final_rmse,
         n_correspondences=n_pairs,
         rmse_history=rmse_history,
+        hessian=hessian,
+        matched_normals=matched_normals,
+        matched_residuals=matched_residuals,
     )

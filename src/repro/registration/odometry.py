@@ -24,7 +24,7 @@ computation; ``tests/registration/test_streaming.py`` enforces it).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -33,6 +33,11 @@ from repro.geometry.metrics import SequenceErrors
 from repro.io.dataset import SyntheticSequence
 from repro.io.pointcloud import PointCloud
 from repro.profiling.timer import StageProfiler
+from repro.registration.health import (
+    HealthConfig,
+    RegistrationHealth,
+    assess_registration,
+)
 from repro.registration.pipeline import (
     FrameState,
     Pipeline,
@@ -42,10 +47,99 @@ from repro.telemetry import tracer_of
 
 __all__ = [
     "OdometryResult",
+    "OdometryStats",
+    "RecoveryConfig",
     "run_odometry",
     "StreamingOdometry",
     "run_streaming_odometry",
 ]
+
+
+@dataclass
+class OdometryStats:
+    """Per-run health/recovery bookkeeping for the sequence drivers.
+
+    Both drivers count non-converged ICP pairs (previously consumed
+    silently); the streaming driver with a :class:`RecoveryConfig`
+    additionally records per-pair health verdicts and every recovery
+    rung it climbed.  ``pair_health``/``pair_actions`` are indexed by
+    pair; ``failure_counts`` tallies
+    :class:`~repro.registration.health.RegistrationHealth` reason codes
+    across the run.
+    """
+
+    n_pairs: int = 0
+    n_nonconverged: int = 0
+    n_unhealthy: int = 0
+    n_reseeded: int = 0
+    n_widened: int = 0
+    n_bridged: int = 0
+    failure_counts: dict[str, int] = field(default_factory=dict)
+    pair_health: list[RegistrationHealth | None] = field(default_factory=list)
+    pair_actions: list[tuple[str, ...]] = field(default_factory=list)
+    degraded_pairs: list[int] = field(default_factory=list)
+
+    @property
+    def n_recovered(self) -> int:
+        """Pairs that started unhealthy but a retry rung salvaged."""
+        return self.n_unhealthy - len(self.degraded_pairs)
+
+    def snapshot(self) -> "OdometryStats":
+        """An independent copy (results must not alias live state)."""
+        return replace(
+            self,
+            failure_counts=dict(self.failure_counts),
+            pair_health=list(self.pair_health),
+            pair_actions=list(self.pair_actions),
+            degraded_pairs=list(self.degraded_pairs),
+        )
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.n_pairs} pairs: {self.n_nonconverged} non-converged ICP"
+        ]
+        if self.n_unhealthy:
+            parts.append(
+                f"{self.n_unhealthy} unhealthy "
+                f"(reseeded {self.n_reseeded}, widened {self.n_widened}, "
+                f"bridged {self.n_bridged})"
+            )
+        if self.failure_counts:
+            reasons = ", ".join(
+                f"{name} x{count}"
+                for name, count in sorted(self.failure_counts.items())
+            )
+            parts.append(f"reasons: {reasons}")
+        return "; ".join(parts)
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """The deterministic recovery ladder for unhealthy pairs.
+
+    When a pair's :func:`~repro.registration.health.assess_registration`
+    verdict fails, :class:`StreamingOdometry` escalates rung by rung,
+    re-assessing after each, and accepts the first healthy attempt:
+
+    1. *re-seed* — retry the match seeded from the constant-velocity
+       motion model (skipped when the failed attempt already used that
+       exact seed);
+    2. *widen* — retry through a recovery pipeline with the RPCE
+       correspondence distance and ICP iteration budget scaled up
+       (pairwise knobs only, so cached FrameStates stay valid);
+    3. *bridge* — give up on registration for this pair, substitute the
+       motion-model prediction, and mark the pair degraded.
+
+    Every rung is deterministic (no randomness, no retries with
+    different seeds), so a given sequence always takes the same path.
+    """
+
+    health: HealthConfig = field(default_factory=HealthConfig)
+    reseed_from_prior: bool = True
+    widened_retry: bool = True
+    rpce_distance_scale: float = 2.0
+    icp_iteration_scale: float = 2.0
+    bridge_with_prior: bool = True
 
 
 @dataclass
@@ -64,6 +158,7 @@ class OdometryResult:
     profiler: StageProfiler
     errors: SequenceErrors | None = None
     per_pair_errors: list[tuple[float, float]] = field(default_factory=list)
+    stats: OdometryStats = field(default_factory=OdometryStats)
 
     @property
     def n_pairs(self) -> int:
@@ -80,6 +175,8 @@ class OdometryResult:
             f"odometry over {self.n_pairs} pairs, "
             f"{self.mean_pair_seconds:.2f} s/pair"
         ]
+        if self.stats.n_nonconverged or self.stats.n_unhealthy:
+            lines.append(f"health: {self.stats.summary()}")
         if self.errors is not None:
             lines.append(
                 f"KITTI errors: {self.errors.translational_percent:.2f} % "
@@ -117,17 +214,23 @@ def run_odometry(
     pair_results: list[RegistrationResult] = []
     pair_seconds: list[float] = []
     previous: np.ndarray | None = None
+    stats = OdometryStats()
 
     for index in range(n_pairs):
         source, target = frames[index + 1], frames[index]
         pair_profiler = StageProfiler(tracer=tracer)
+        pair_tracer = tracer_of(pair_profiler)
         initial = previous if (seed_with_previous and previous is not None) else None
         start = time.perf_counter()
-        with tracer_of(pair_profiler).span(
+        with pair_tracer.span(
             "pair", index=index, seeded=initial is not None
         ):
             result = pipeline.register(source, target, initial=initial,
                                        profiler=pair_profiler)
+            stats.n_pairs += 1
+            if not result.icp.converged:
+                stats.n_nonconverged += 1
+                pair_tracer.count("odometry.nonconverged")
         pair_seconds.append(time.perf_counter() - start)
         profiler.merge(pair_profiler)
         relatives.append(result.transformation)
@@ -135,7 +238,8 @@ def run_odometry(
         previous = result.transformation
 
     return _score_run(
-        relatives, pair_results, pair_seconds, profiler, ground_truth_poses
+        relatives, pair_results, pair_seconds, profiler, ground_truth_poses,
+        stats=stats,
     )
 
 
@@ -163,6 +267,7 @@ def _score_run(
     pair_seconds: list[float],
     profiler: StageProfiler,
     ground_truth_poses: list[np.ndarray] | None,
+    stats: OdometryStats | None = None,
 ) -> OdometryResult:
     """Chain relatives into a trajectory and score against ground truth."""
     n_pairs = len(relatives)
@@ -181,6 +286,13 @@ def _score_run(
             for estimate, gt in zip(relatives, gt_relatives)
         ]
 
+    if stats is None:
+        stats = OdometryStats(
+            n_pairs=n_pairs,
+            n_nonconverged=sum(
+                1 for result in pair_results if not result.icp.converged
+            ),
+        )
     return OdometryResult(
         relatives=relatives,
         trajectory=trajectory,
@@ -189,6 +301,7 @@ def _score_run(
         profiler=profiler,
         errors=errors,
         per_pair_errors=per_pair,
+        stats=stats,
     )
 
 
@@ -219,6 +332,7 @@ class StreamingOdometry:
         pipeline: Pipeline,
         seed_with_previous: bool = True,
         tracer=None,
+        recovery: RecoveryConfig | None = None,
     ):
         self.pipeline = pipeline
         self.seed_with_previous = seed_with_previous
@@ -226,6 +340,12 @@ class StreamingOdometry:
         # "pair" (or "bootstrap") span with the pipeline spans nested
         # inside.  None (the default) costs nothing.
         self.tracer = tracer
+        # Optional failure-aware mode: assess every pair's health and
+        # climb the RecoveryConfig ladder on unhealthy ones.  None (the
+        # default) preserves the legacy consume-everything behavior
+        # bit-for-bit; non-converged pairs are counted either way.
+        self.recovery = recovery
+        self.stats = OdometryStats()
         self.profiler = StageProfiler()
         self.relatives: list[np.ndarray] = []
         self.pair_results: list[RegistrationResult] = []
@@ -233,6 +353,7 @@ class StreamingOdometry:
         self._target_state: FrameState | None = None
         self._previous: np.ndarray | None = None
         self._n_frames = 0
+        self._recovery_pipeline: Pipeline | None = None
         # Preprocessing time for the very first frame, folded into pair
         # 0's seconds so timing accounts match the pair-by-pair driver.
         self._pending_seconds = 0.0
@@ -298,6 +419,37 @@ class StreamingOdometry:
                 profiler=step_profiler,
             )
 
+            health: RegistrationHealth | None = None
+            actions: tuple[str, ...] = ()
+            if self.recovery is not None:
+                health = assess_registration(
+                    result, self.recovery.health, prior=self._previous
+                )
+                if not health.healthy:
+                    result, health, actions = self._recover(
+                        source_state, initial, result, health,
+                        step_profiler, tracer,
+                    )
+
+            self.stats.n_pairs += 1
+            if not result.icp.converged:
+                self.stats.n_nonconverged += 1
+                tracer.count("odometry.nonconverged")
+            self.stats.pair_health.append(health)
+            self.stats.pair_actions.append(actions)
+            if health is not None:
+                for reason in health.reasons:
+                    self.stats.failure_counts[reason] = (
+                        self.stats.failure_counts.get(reason, 0) + 1
+                    )
+                tracer.annotate(
+                    healthy=health.healthy,
+                    degraded="bridge" in actions,
+                    **(
+                        {"recovery": ",".join(actions)} if actions else {}
+                    ),
+                )
+
         self.pair_seconds.append(
             time.perf_counter() - start + self._pending_seconds
         )
@@ -309,6 +461,135 @@ class StreamingOdometry:
         # The handoff: this pair's source is the next pair's target.
         self._target_state = source_state
         return result
+
+    def _widened_pipeline(self) -> Pipeline:
+        """The recovery pipeline: same config, widened pairwise budgets.
+
+        Only pairwise knobs change (RPCE correspondence distance, ICP
+        iteration budget), so every cached :class:`FrameState` remains
+        valid for it — the same trick the loop closer uses for its
+        verification matcher.  Built once, on first use.
+        """
+        if self._recovery_pipeline is None:
+            recovery = self.recovery
+            config = self.pipeline.config
+            icp_config = replace(
+                config.icp,
+                rpce=replace(
+                    config.icp.rpce,
+                    max_distance=(
+                        None
+                        if config.icp.rpce.max_distance is None
+                        else config.icp.rpce.max_distance
+                        * recovery.rpce_distance_scale
+                    ),
+                ),
+                max_iterations=max(
+                    config.icp.max_iterations + 1,
+                    int(
+                        round(
+                            config.icp.max_iterations
+                            * recovery.icp_iteration_scale
+                        )
+                    ),
+                ),
+            )
+            self._recovery_pipeline = Pipeline(replace(config, icp=icp_config))
+        return self._recovery_pipeline
+
+    def _recover(
+        self,
+        source_state: FrameState,
+        initial: np.ndarray | None,
+        result: RegistrationResult,
+        health: RegistrationHealth,
+        profiler: StageProfiler,
+        tracer,
+    ) -> tuple[RegistrationResult, RegistrationHealth, tuple[str, ...]]:
+        """Climb the recovery ladder for one unhealthy pair.
+
+        Returns the accepted (result, health, actions) — the first
+        healthy retry, or the bridged/degraded outcome.  A bridged
+        result carries the motion-model prediction as its
+        transformation (so trajectory chaining and downstream consumers
+        see the substitute) while keeping the failed attempt's ICP
+        diagnostics.
+        """
+        recovery = self.recovery
+        prior = self._previous
+        actions: list[str] = []
+        self.stats.n_unhealthy += 1
+        tracer.count("odometry.unhealthy")
+
+        # Retries are judged on intrinsic quality only: the prior
+        # tolerances are disabled for re-assessment (deviations are
+        # still recorded).  A prior disagreement means either a bad
+        # solve or genuinely changed motion — and the retry is exactly
+        # the experiment that distinguishes them.  If an independent
+        # re-solve with a fresh seed / widened search is self-consistent
+        # (converged, low RMSE, non-degenerate, physically plausible)
+        # yet still disagrees with the motion model, the measurement
+        # wins: bridging it away would hard-code the constant-velocity
+        # assumption precisely when the platform broke it (e.g. the
+        # double-length true motion across a dropped frame).
+        retry_config = replace(
+            recovery.health,
+            prior_translation_tolerance=None,
+            prior_rotation_tolerance_deg=None,
+        )
+
+        # Rung 1: re-seed from the constant-velocity motion model —
+        # unless the failed attempt already used exactly that seed.
+        if (
+            recovery.reseed_from_prior
+            and prior is not None
+            and (initial is None or not np.array_equal(initial, prior))
+        ):
+            actions.append("reseed")
+            self.stats.n_reseeded += 1
+            tracer.count("odometry.reseeded")
+            with tracer.span("recovery", rung="reseed"):
+                candidate = self.pipeline.match(
+                    source_state, self._target_state,
+                    initial=prior, profiler=profiler,
+                )
+            candidate_health = assess_registration(
+                candidate, retry_config, prior=prior
+            )
+            if candidate_health.healthy:
+                return candidate, candidate_health, tuple(actions)
+            result, health = candidate, candidate_health
+
+        # Rung 2: widened correspondence/iteration budgets.
+        if recovery.widened_retry:
+            actions.append("widen")
+            self.stats.n_widened += 1
+            tracer.count("odometry.widened")
+            with tracer.span("recovery", rung="widen"):
+                candidate = self._widened_pipeline().match(
+                    source_state, self._target_state,
+                    initial=prior if prior is not None else initial,
+                    profiler=profiler,
+                )
+            candidate_health = assess_registration(
+                candidate, retry_config, prior=prior
+            )
+            if candidate_health.healthy:
+                return candidate, candidate_health, tuple(actions)
+            result, health = candidate, candidate_health
+
+        # Rung 3: bridge the pair with the motion-model prediction and
+        # mark it degraded.  Without a prior (pair 0 failing) the
+        # unhealthy transform is kept — there is nothing to bridge with
+        # — but the pair is still marked degraded for downstream gates.
+        degraded_index = self.n_pairs
+        self.stats.degraded_pairs.append(degraded_index)
+        if recovery.bridge_with_prior and prior is not None:
+            actions.append("bridge")
+            self.stats.n_bridged += 1
+            tracer.count("odometry.bridged")
+            result = replace(result, transformation=np.array(prior))
+        return result, health, tuple(actions)
 
     def result(
         self, ground_truth_poses: list[np.ndarray] | None = None
@@ -328,6 +609,7 @@ class StreamingOdometry:
             list(self.pair_seconds),
             profiler,
             ground_truth_poses,
+            stats=self.stats.snapshot(),
         )
 
 
@@ -338,19 +620,22 @@ def run_streaming_odometry(
     seed_with_previous: bool = True,
     max_pairs: int | None = None,
     tracer=None,
+    recovery: RecoveryConfig | None = None,
 ) -> OdometryResult:
     """Drop-in streaming counterpart of :func:`run_odometry`.
 
     Same signature, same scoring, same (bit-identical) trajectory —
     but frames flow through a :class:`StreamingOdometry` engine, so
-    each is preprocessed once instead of twice.
+    each is preprocessed once instead of twice.  ``recovery`` enables
+    the failure-aware ladder (see :class:`RecoveryConfig`).
     """
     frames, ground_truth_poses, n_pairs = _prepare_frames(
         frames, ground_truth_poses, max_pairs
     )
 
     engine = StreamingOdometry(
-        pipeline, seed_with_previous=seed_with_previous, tracer=tracer
+        pipeline, seed_with_previous=seed_with_previous, tracer=tracer,
+        recovery=recovery,
     )
     for frame in frames[: n_pairs + 1]:
         engine.push(frame)

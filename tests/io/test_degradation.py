@@ -1,0 +1,199 @@
+"""Degradation injection: determinism, clean twins, per-generator behavior."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    DynamicClutter,
+    FrameDrop,
+    NoiseBurst,
+    OcclusionWedge,
+    PointDropout,
+    SceneSuite,
+    degrade_sequence,
+    make_sequence,
+)
+
+
+@pytest.fixture(scope="module")
+def sequence():
+    return make_sequence(n_frames=4, seed=7)
+
+
+def clouds_equal(a, b) -> bool:
+    return np.array_equal(a.points, b.points)
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self, sequence):
+        degradations = (PointDropout(fraction=0.5), NoiseBurst(sigma=0.2))
+        first = degrade_sequence(sequence, degradations, seed=3)
+        second = degrade_sequence(sequence, degradations, seed=3)
+        assert all(
+            clouds_equal(a, b)
+            for a, b in zip(first.frames, second.frames)
+        )
+
+    def test_different_seed_differs(self, sequence):
+        degradations = (NoiseBurst(sigma=0.2),)
+        first = degrade_sequence(sequence, degradations, seed=3)
+        second = degrade_sequence(sequence, degradations, seed=4)
+        assert not clouds_equal(first.frames[0], second.frames[0])
+
+    def test_input_sequence_untouched(self, sequence):
+        before = [frame.points.copy() for frame in sequence.frames]
+        degrade_sequence(sequence, (NoiseBurst(sigma=0.5),), seed=0)
+        assert all(
+            np.array_equal(points, frame.points)
+            for points, frame in zip(before, sequence.frames)
+        )
+
+
+class TestFrameWindowing:
+    def test_frames_outside_window_bit_identical(self, sequence):
+        degraded = degrade_sequence(
+            sequence, (NoiseBurst(sigma=0.5, frames=(1, 2)),), seed=0
+        )
+        assert clouds_equal(degraded.frames[0], sequence.frames[0])
+        assert clouds_equal(degraded.frames[3], sequence.frames[3])
+        assert not clouds_equal(degraded.frames[1], sequence.frames[1])
+        assert not clouds_equal(degraded.frames[2], sequence.frames[2])
+
+    def test_poses_preserved_without_drops(self, sequence):
+        degraded = degrade_sequence(
+            sequence, (PointDropout(fraction=0.5),), seed=0
+        )
+        assert len(degraded.poses) == len(sequence.poses)
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(degraded.poses, sequence.poses)
+        )
+
+
+class TestGenerators:
+    def test_dropout_removes_points(self, sequence):
+        degraded = degrade_sequence(
+            sequence, (PointDropout(fraction=0.9),), seed=0
+        )
+        original = len(sequence.frames[0])
+        survivors = len(degraded.frames[0])
+        assert 0 < survivors < original
+        assert survivors == pytest.approx(0.1 * original, rel=0.2)
+
+    def test_dropout_keeps_at_least_one_point(self, sequence):
+        degraded = degrade_sequence(
+            sequence, (PointDropout(fraction=0.999),), seed=0
+        )
+        assert all(len(frame) >= 1 for frame in degraded.frames)
+
+    def test_total_dropout_rejected(self):
+        with pytest.raises(ValueError):
+            PointDropout(fraction=1.0)
+
+    def test_noise_burst_perturbs_every_point(self, sequence):
+        degraded = degrade_sequence(
+            sequence, (NoiseBurst(sigma=0.3),), seed=0
+        )
+        frame, original = degraded.frames[0], sequence.frames[0]
+        assert len(frame) == len(original)
+        offsets = np.linalg.norm(frame.points - original.points, axis=1)
+        assert np.all(offsets > 0)
+        assert np.std(offsets) < 1.0
+
+    def test_occlusion_wedge_empties_sector(self, sequence):
+        degraded = degrade_sequence(
+            sequence,
+            (OcclusionWedge(center_deg=0.0, width_deg=60.0),),
+            seed=0,
+        )
+        frame = degraded.frames[0]
+        azimuth = np.degrees(
+            np.arctan2(frame.points[:, 1], frame.points[:, 0])
+        )
+        assert len(frame) < len(sequence.frames[0])
+        assert not np.any(np.abs(azimuth) < 30.0)
+
+    def test_clutter_relocates_but_preserves_count(self, sequence):
+        degraded = degrade_sequence(
+            sequence, (DynamicClutter(n_objects=2),), seed=0
+        )
+        frame, original = degraded.frames[0], sequence.frames[0]
+        assert len(frame) == len(original)
+        moved = ~np.all(frame.points == original.points, axis=1)
+        assert 0 < moved.sum() <= len(original) // 2
+
+    def test_frame_drop_removes_frame_and_pose(self, sequence):
+        degraded = degrade_sequence(
+            sequence, (FrameDrop(frames=(1,)),), seed=0
+        )
+        assert len(degraded.frames) == len(sequence.frames) - 1
+        assert len(degraded.poses) == len(sequence.poses) - 1
+        # Frame 2 slid into slot 1; its pose came along.
+        assert clouds_equal(degraded.frames[1], sequence.frames[2])
+        assert np.array_equal(degraded.poses[1], sequence.poses[2])
+
+    def test_frame_drop_requires_explicit_frames(self):
+        with pytest.raises(ValueError):
+            FrameDrop()
+
+    def test_dropping_too_many_frames_rejected(self, sequence):
+        with pytest.raises(ValueError):
+            degrade_sequence(
+                sequence, (FrameDrop(frames=(0, 1, 2)),), seed=0
+            )
+
+
+class TestComposition:
+    def test_applied_left_to_right(self, sequence):
+        # Dropout-then-wedge and wedge-then-dropout visit different rng
+        # streams over different survivor sets, so the results differ —
+        # order is part of the contract.
+        forward = degrade_sequence(
+            sequence,
+            (PointDropout(fraction=0.5), OcclusionWedge(width_deg=90.0)),
+            seed=0,
+        )
+        reverse = degrade_sequence(
+            sequence,
+            (OcclusionWedge(width_deg=90.0), PointDropout(fraction=0.5)),
+            seed=0,
+        )
+        assert not clouds_equal(forward.frames[0], reverse.frames[0])
+
+
+class TestAdverseSuite:
+    def test_clean_twin_recovers_clean_sequence(self):
+        suite = SceneSuite.adverse(n_frames=4)
+        spec = suite.specs["urban_noise_burst"]
+        twin_spec = dataclasses.replace(spec, degradation=None)
+        twin = twin_spec.build(4, suite.model)
+        clean = SceneSuite.default(n_frames=4).sequence("urban")
+        assert all(
+            clouds_equal(a, b) for a, b in zip(twin.frames, clean.frames)
+        )
+        assert all(
+            np.array_equal(a, b) for a, b in zip(twin.poses, clean.poses)
+        )
+
+    def test_adverse_scenes_present(self):
+        suite = SceneSuite.adverse(n_frames=4)
+        assert {
+            "urban_noise_burst",
+            "urban_blackout",
+            "urban_clutter",
+            "urban_outage",
+            "corridor",
+        } <= set(suite.names)
+        # At least three scenes carry actual injected degradation.
+        injected = [
+            name
+            for name in suite.names
+            if suite.specs[name].degradation
+        ]
+        assert len(injected) >= 3
+
+    def test_corridor_uses_noise_free_sensor(self):
+        suite = SceneSuite.adverse(n_frames=4)
+        assert suite.specs["corridor"].model.range_noise_std == 0.0

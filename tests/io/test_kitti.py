@@ -1,10 +1,19 @@
-"""Round-trip tests for KITTI pose-file I/O."""
+"""Round-trip and loader tests for KITTI dataset I/O."""
+
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.geometry import se3
-from repro.io import read_kitti_poses, write_kitti_poses
+from repro.io import (
+    load_kitti_sequence,
+    read_kitti_poses,
+    read_velodyne_bin,
+    write_kitti_poses,
+    write_velodyne_bin,
+)
+from repro.io.pointcloud import PointCloud
 
 
 class TestRoundTrip:
@@ -51,3 +60,99 @@ class TestValidation:
         write_kitti_poses(path, [se3.random_transform(rng)])
         path.write_text(path.read_text() + "\n\n")
         assert len(read_kitti_poses(path)) == 1
+
+
+FIXTURE_ROOT = Path(__file__).parent / "data" / "kitti"
+
+
+class TestVelodyneRoundTrip:
+    def test_points_and_intensity_survive(self, tmp_path, rng):
+        points = rng.normal(size=(100, 3))
+        cloud = PointCloud(points, intensity=rng.random(100))
+        path = tmp_path / "scan.bin"
+        write_velodyne_bin(path, cloud)
+        back = read_velodyne_bin(path)
+        # The on-disk format is float32; the round trip is exact at
+        # float32 resolution.
+        assert np.allclose(back.points, points, atol=1e-6)
+        assert np.allclose(
+            back.get_attribute("intensity"),
+            cloud.get_attribute("intensity"),
+            atol=1e-7,
+        )
+
+    def test_missing_intensity_written_as_zeros(self, tmp_path, rng):
+        path = tmp_path / "scan.bin"
+        write_velodyne_bin(path, PointCloud(rng.normal(size=(10, 3))))
+        back = read_velodyne_bin(path)
+        assert np.all(back.get_attribute("intensity") == 0.0)
+
+    def test_file_is_float32_quadruples(self, tmp_path, rng):
+        path = tmp_path / "scan.bin"
+        write_velodyne_bin(path, PointCloud(rng.normal(size=(25, 3))))
+        assert path.stat().st_size == 25 * 4 * 4
+
+    def test_truncated_scan_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        np.zeros(7, dtype=np.float32).tofile(path)
+        with pytest.raises(ValueError, match="quadruples"):
+            read_velodyne_bin(path)
+
+
+class TestSequenceLoader:
+    """Smoke tests over the tiny committed fixture (synthetic scans
+    written in the real dataset's directory layout and binary format)."""
+
+    def test_fixture_loads(self):
+        sequence = load_kitti_sequence(FIXTURE_ROOT, "00")
+        assert sequence.name == "00"
+        assert len(sequence) == 3
+        assert sequence.poses is not None
+        assert len(sequence.poses) == 3
+        for frame in sequence.frames:
+            assert len(frame) > 100
+            assert frame.has_attribute("intensity")
+        for pose in sequence.poses:
+            assert se3.is_valid_transform(pose)
+
+    def test_frames_are_distinct_scans(self):
+        sequence = load_kitti_sequence(FIXTURE_ROOT, "00")
+        assert not np.array_equal(
+            sequence.frames[0].points, sequence.frames[1].points
+        )
+        # Consecutive ground-truth poses are ~1 m apart (the fixture
+        # generator's step), so the poses really are a trajectory.
+        step = np.linalg.norm(
+            sequence.poses[1][:3, 3] - sequence.poses[0][:3, 3]
+        )
+        assert 0.5 < step < 2.0
+
+    def test_max_frames_truncates_scans_and_poses(self):
+        sequence = load_kitti_sequence(FIXTURE_ROOT, "00", max_frames=2)
+        assert len(sequence) == 2
+        assert len(sequence.poses) == 2
+
+    def test_missing_sequence_rejected(self):
+        with pytest.raises(FileNotFoundError):
+            load_kitti_sequence(FIXTURE_ROOT, "99")
+
+    def test_missing_poses_is_test_split(self, tmp_path):
+        scan_dir = tmp_path / "sequences" / "11" / "velodyne"
+        scan_dir.mkdir(parents=True)
+        source = load_kitti_sequence(FIXTURE_ROOT, "00")
+        for index, frame in enumerate(source.frames):
+            write_velodyne_bin(scan_dir / f"{index:06d}.bin", frame)
+        sequence = load_kitti_sequence(tmp_path, "11")
+        assert len(sequence) == 3
+        assert sequence.poses is None
+
+    def test_short_pose_file_rejected(self, tmp_path):
+        scan_dir = tmp_path / "sequences" / "00" / "velodyne"
+        scan_dir.mkdir(parents=True)
+        source = load_kitti_sequence(FIXTURE_ROOT, "00")
+        for index, frame in enumerate(source.frames):
+            write_velodyne_bin(scan_dir / f"{index:06d}.bin", frame)
+        (tmp_path / "poses").mkdir()
+        write_kitti_poses(tmp_path / "poses" / "00.txt", source.poses[:2])
+        with pytest.raises(ValueError, match="2 poses for 3 scans"):
+            load_kitti_sequence(tmp_path, "00")

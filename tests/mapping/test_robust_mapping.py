@@ -1,0 +1,204 @@
+"""Adversarial mapping: false closures, robust kernels, quarantine gates.
+
+The robust back end exists for exactly one failure mode: a loop-closure
+edge that is confidently wrong.  These tests inject one directly into a
+pose graph (and, at the system level, force the mapper's health gates)
+and check that the damage stays bounded under the robustified solvers
+while the quadratic baseline visibly distorts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import se3
+from repro.io import SceneSuite, default_test_model
+from repro.mapping import (
+    StreamingMapper,
+    urban_loop_mapper_config,
+    urban_loop_pipeline,
+)
+from repro.mapping.keyframes import Keyframe
+from repro.mapping.loop_closure import LoopCloser
+from repro.mapping.pose_graph import PoseGraph, PoseGraphConfig
+from repro.registration import HealthConfig, RecoveryConfig
+
+
+def translation(x: float, y: float) -> np.ndarray:
+    pose = np.eye(4)
+    pose[0, 3] = x
+    pose[1, 3] = y
+    return pose
+
+
+def circle_graph(n: int = 10, radius: float = 5.0):
+    """A loop of ``n`` nodes with exact odometry and one true closure."""
+    graph = PoseGraph()
+    poses = []
+    for k in range(n):
+        angle = 2.0 * np.pi * k / n
+        pose = translation(radius * np.cos(angle), radius * np.sin(angle))
+        poses.append(pose)
+        graph.add_node(pose)
+    for k in range(n - 1):
+        graph.add_edge(
+            k, k + 1, se3.compose(se3.invert(poses[k]), poses[k + 1])
+        )
+    graph.add_edge(
+        n - 1, 0, se3.compose(se3.invert(poses[n - 1]), poses[0]),
+        kind="loop",
+    )
+    return graph, poses
+
+
+def max_displacement(graph: PoseGraph, reference) -> float:
+    return max(
+        float(np.linalg.norm(pose[:3, 3] - truth[:3, 3]))
+        for pose, truth in zip(graph.nodes, reference)
+    )
+
+
+class TestFalseClosureContainment:
+    """An identity 'closure' between opposite sides of the circle."""
+
+    def attacked(self, config: PoseGraphConfig):
+        graph, truth = circle_graph()
+        # Nodes 0 and 5 are a diameter apart; the false edge claims
+        # they coincide.
+        false_edge_index = len(graph.edges)
+        graph.add_edge(0, 5, np.eye(4), kind="loop")
+        result = graph.optimize(config)
+        return graph, truth, result, false_edge_index
+
+    def test_quadratic_baseline_distorts(self):
+        graph, truth, result, _ = self.attacked(PoseGraphConfig())
+        assert max_displacement(graph, truth) > 1.0
+        # No robustness knob active: the diagnostics stay empty.
+        assert result.edge_robust_weights == []
+        assert result.edge_chi2 == []
+
+    def test_dcs_contains_the_damage(self):
+        graph, truth, result, false_index = self.attacked(
+            PoseGraphConfig(loop_switch_phi=1.0)
+        )
+        assert max_displacement(graph, truth) < 0.1
+        # Per-edge diagnostics cover the whole graph, the injected
+        # edge is switched nearly off, and the honest edges keep full
+        # influence.
+        assert len(result.edge_robust_weights) == len(graph.edges)
+        assert len(result.edge_chi2) == len(graph.edges)
+        assert result.edge_robust_weights[false_index] < 0.01
+        assert result.edge_chi2[false_index] > 10.0
+        honest = [
+            weight
+            for index, weight in enumerate(result.edge_robust_weights)
+            if index != false_index
+        ]
+        assert min(honest) > 0.99
+
+    def test_cauchy_beats_quadratic(self):
+        # Cauchy redescends, so a gross outlier loses almost all its
+        # influence; Huber's linear tail keeps pulling and is not a
+        # sufficient defense at this error magnitude.
+        quadratic_graph, truth, _, _ = self.attacked(PoseGraphConfig())
+        cauchy_graph, _, result, false_index = self.attacked(
+            PoseGraphConfig(robust_kernel="cauchy", robust_delta=1.0)
+        )
+        assert max_displacement(cauchy_graph, truth) < 0.25 * max_displacement(
+            quadratic_graph, truth
+        )
+        assert len(result.edge_robust_weights) == len(cauchy_graph.edges)
+        assert result.edge_robust_weights[false_index] < 0.05
+
+    def test_robustness_transparent_without_outliers(self):
+        honest, truth = circle_graph()
+        honest.optimize(PoseGraphConfig())
+        robust, _ = circle_graph()
+        result = robust.optimize(PoseGraphConfig(loop_switch_phi=1.0))
+        for a, b in zip(honest.nodes, robust.nodes):
+            assert np.allclose(a, b, atol=1e-9)
+        # Consistent closures pass through DCS exactly unchanged.
+        assert all(weight == 1.0 for weight in result.edge_robust_weights)
+
+
+class TestQuarantineGate:
+    def keyframe(self, index: int, x: float, quarantined: bool) -> Keyframe:
+        return Keyframe(
+            index=index,
+            frame_index=index,
+            odometry_pose=translation(x, 0.0),
+            state=None,
+            quarantined=quarantined,
+        )
+
+    def test_quarantined_keyframes_never_candidates(self):
+        closer = LoopCloser(urban_loop_pipeline())
+        keyframes = [
+            self.keyframe(0, 0.0, quarantined=False),
+            self.keyframe(1, 0.5, quarantined=True),
+            self.keyframe(2, 1.0, quarantined=False),
+        ] + [self.keyframe(3 + k, 50.0 + k, quarantined=False) for k in range(5)]
+        poses = [keyframe.odometry_pose for keyframe in keyframes]
+        # The newest keyframe sits back at the start: 0, 1, 2 are all
+        # within closure distance and past the keyframe gap — but 1 is
+        # quarantined and must not appear.
+        keyframes.append(self.keyframe(8, 0.25, quarantined=False))
+        poses.append(keyframes[-1].odometry_pose)
+        candidates = closer.candidates(keyframes, poses, current=8)
+        assert 1 not in candidates
+        assert 0 in candidates
+        assert 2 in candidates
+
+
+class TestMapperHealthGates:
+    @pytest.fixture(scope="class")
+    def half_loop(self):
+        suite = SceneSuite.default(n_frames=24, model=default_test_model())
+        return suite.sequence("urban_loop")
+
+    def run_mapper(self, sequence, **config_overrides) -> StreamingMapper:
+        mapper = StreamingMapper(
+            urban_loop_pipeline(),
+            urban_loop_mapper_config(**config_overrides),
+        )
+        for frame in sequence.frames:
+            mapper.push(frame)
+        return mapper
+
+    def test_closure_health_gate_rejects_and_counts(self, half_loop):
+        reference = self.run_mapper(half_loop)
+        assert reference.stats.n_loop_closures > 0
+
+        # A closure gate nothing passes: every verified closure is
+        # rejected and counted, the pose graph never optimizes, and the
+        # trajectory falls back to open-loop odometry bit for bit.
+        gated = self.run_mapper(
+            half_loop, closure_health=HealthConfig(max_rmse=1e-12)
+        )
+        assert gated.stats.n_rejected_closures >= reference.stats.n_loop_closures
+        assert gated.stats.n_loop_closures == 0
+        assert gated.stats.n_optimizations == 0
+        open_loop = self.run_mapper(half_loop, enable_loop_closure=False)
+        assert all(
+            np.array_equal(ours, reference_pose)
+            for ours, reference_pose in zip(
+                gated.trajectory(), open_loop.trajectory()
+            )
+        )
+        assert "health-rejected" in gated.stats.summary()
+
+    def test_bridged_frames_quarantine_keyframes(self, half_loop):
+        # Force the odometry ladder to bridge every pair: keyframes
+        # built on bridged poses are quarantined and anchor no closures.
+        mapper = self.run_mapper(
+            half_loop,
+            recovery=RecoveryConfig(
+                health=HealthConfig(max_median_residual=1e-12)
+            ),
+        )
+        assert mapper.stats.n_quarantined_keyframes > 0
+        assert mapper.stats.n_loop_closures == 0
+        assert "quarantined" in mapper.stats.summary()
+        quarantined = [
+            keyframe for keyframe in mapper.keyframes if keyframe.quarantined
+        ]
+        assert len(quarantined) == mapper.stats.n_quarantined_keyframes
